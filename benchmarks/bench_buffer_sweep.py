@@ -1,0 +1,27 @@
+"""EXP-BDP — §6: optimal TCP buffer = RTT x (speed of bottleneck link),
+with RTT from ping and the bottleneck from pipechar."""
+
+from repro.experiments import buffer_sweep
+from repro.netsim.units import KiB
+
+
+def test_buffer_formula(once):
+    sweep = once(buffer_sweep.run)
+
+    # the formula's prediction from the measured path: ~381 KiB
+    assert 300 * KiB < sweep.formula_buffer < 500 * KiB
+    # the measured sweep peaks within a factor 2 of the prediction
+    assert sweep.formula_buffer / 2 <= sweep.best_buffer <= sweep.formula_buffer * 2
+    # too-small buffers never open the window: 16 KiB is crippled
+    assert sweep.rates[16 * KiB] < 0.25 * sweep.rates[sweep.best_buffer]
+    # past the BDP the curve flattens (loss-limited, not window-limited)
+    big = [rate for buf, rate in sweep.rates.items() if buf >= 1024 * KiB]
+    assert max(big) - min(big) < 0.15 * max(big)
+
+    once.benchmark.extra_info.update(
+        {
+            "formula_buffer_kib": sweep.formula_buffer // KiB,
+            "best_measured_buffer_kib": sweep.best_buffer // KiB,
+            "rate_at_best_mbps": round(sweep.rates[sweep.best_buffer], 2),
+        }
+    )

@@ -1,0 +1,24 @@
+"""EXP-CAT — §4.2: one central replica catalog on a single LDAP server;
+every non-co-located site pays a WAN round trip per catalog operation."""
+
+from repro.experiments import catalog_bench
+
+
+def test_catalog_latency(once):
+    result = once(catalog_bench.run)
+
+    # local publishing is millisecond-scale
+    assert result.local_publish < 0.02
+    # remote operations are dominated by the 125 ms RTT
+    assert 0.1 < result.remote_publish < 0.5
+    assert 0.1 < result.remote_lookup < 0.3
+    # the WAN penalty that motivates distributing the catalog (future work)
+    assert result.remote_publish / result.local_publish > 10
+
+    once.benchmark.extra_info.update(
+        {
+            "local_publish_ms": round(result.local_publish * 1000, 2),
+            "remote_publish_ms": round(result.remote_publish * 1000, 2),
+            "wan_penalty": round(result.remote_publish / result.local_publish, 1),
+        }
+    )

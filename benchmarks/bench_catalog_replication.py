@@ -1,0 +1,25 @@
+"""EXP-CR — catalog distribution/replication (§4.2 future work) ablation."""
+
+from repro.experiments import catalog_replication_bench
+
+
+def test_catalog_replication(once):
+    result = once(catalog_replication_bench.run)
+
+    # a local replica turns the 1-RTT WAN read into a local lookup
+    assert result.central_read > 0.12
+    assert result.replicated_read < 0.01
+    assert result.read_speedup > 15
+    # writes still pay the trip to the primary
+    assert result.replicated_write > 0.12
+    # eventual consistency: convergence within ~2 propagation delays
+    assert 0.0 < result.staleness_window < 0.3
+
+    once.benchmark.extra_info.update(
+        {
+            "central_read_ms": round(result.central_read * 1000, 1),
+            "replicated_read_ms": round(result.replicated_read * 1000, 2),
+            "read_speedup": round(result.read_speedup),
+            "staleness_ms": round(result.staleness_window * 1000),
+        }
+    )

@@ -1,0 +1,31 @@
+"""EXP-OBJ1b — placement ablation: smart clustering helps file replication
+only for placement-correlated selections, never for the fresh random
+selections of late-stage analysis (§5.1)."""
+
+from repro.experiments import clustering
+
+
+def test_clustering_ablation(once):
+    result = once(clustering.run)
+
+    lucky = result.case("sequential", "contiguous")
+    fresh = result.case("sequential", "random")
+    unclustered = result.case("random", "random")
+
+    # placement-correlated selection: clustering rescues file replication
+    assert lucky.efficiency > 0.5
+    assert lucky.bytes_moved < 0.1 * fresh.bytes_moved
+    # a fresh random selection defeats clustering entirely: same cost as
+    # no clustering at all ("can raise the probability, but not by much")
+    assert abs(fresh.bytes_moved - unclustered.bytes_moved) < 0.05 * fresh.bytes_moved
+    assert fresh.efficiency < 0.1
+    # object replication is placement-independent and tiny
+    assert result.object_bytes < 0.05 * fresh.bytes_moved
+
+    once.benchmark.extra_info.update(
+        {
+            "lucky_case_mb": round(lucky.bytes_moved / 1e6, 1),
+            "fresh_case_mb": round(fresh.bytes_moved / 1e6, 1),
+            "object_mb": round(result.object_bytes / 1e6, 1),
+        }
+    )

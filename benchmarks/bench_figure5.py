@@ -1,0 +1,37 @@
+"""EXP-F5 — Figure 5: transfer rate vs parallel streams, untuned buffers.
+
+Paper shape: the 25/50/100 MB curves rise almost linearly with stream
+count and plateau around 23 Mbps; the 1 MB curve stays far below (slow
+start + per-transfer setup).
+"""
+
+from repro.experiments import figure5
+
+
+def test_figure5(once):
+    series = once(figure5.run)
+
+    for size in (25, 50, 100):
+        curve = series[size]
+        # near-linear scaling while window-limited
+        assert 1.7 < curve[2] / curve[1] < 2.2
+        assert 2.5 < curve[3] / curve[1] < 3.3
+        # the paper's ~23 Mbps plateau at high stream counts
+        plateau = max(curve.values())
+        assert 20 < plateau < 27
+        assert curve[9] > 5 * curve[1]  # parallelism is a big win untuned
+        # no further gain once the available bandwidth is saturated
+        assert curve[10] < plateau * 1.05
+
+    # the 1 MB curve is the lowest everywhere
+    for streams in series[1]:
+        assert series[1][streams] < series[25][streams]
+    assert max(series[1].values()) < 12
+
+    once.benchmark.extra_info.update(
+        {
+            "paper_peak_mbps": 23,
+            "measured_peak_100mb_mbps": round(max(series[100].values()), 2),
+            "measured_single_stream_100mb_mbps": round(series[100][1], 2),
+        }
+    )

@@ -1,0 +1,39 @@
+"""EXP-GDMP — §4.1/§4.3: the replication pipeline completes correctly
+through injected disconnects (restart markers) and corruption (CRC)."""
+
+from repro.experiments import gdmp_pipeline
+
+
+def test_gdmp_failure_recovery(once):
+    result = once(gdmp_pipeline.run)
+
+    # clean run: one attempt, no CRC retries
+    assert result.clean.attempts == 1
+    assert result.clean.crc_retries == 0
+    # disconnect: restart marker resumes; only the missing half re-moves,
+    # so the hit is much less than a full re-transfer
+    assert result.with_abort.attempts == 2
+    assert (
+        result.with_abort.transfer_duration
+        < 1.7 * result.clean.transfer_duration
+    )
+    # corruption: CRC catches it, a full second transfer follows
+    assert result.with_corruption.crc_retries == 1
+    assert (
+        result.with_corruption.transfer_duration
+        > 1.7 * result.clean.transfer_duration
+    )
+    # every scenario ends with a correct replica (goodput > 0 implies done)
+    for report in (result.clean, result.with_abort, result.with_corruption):
+        assert report.size == result.size_mb * 1e6
+        assert report.throughput > 0
+
+    once.benchmark.extra_info.update(
+        {
+            "clean_goodput_mbps": round(result.clean.throughput * 8 / 1e6, 2),
+            "abort_goodput_mbps": round(result.with_abort.throughput * 8 / 1e6, 2),
+            "corrupt_goodput_mbps": round(
+                result.with_corruption.throughput * 8 / 1e6, 2
+            ),
+        }
+    )

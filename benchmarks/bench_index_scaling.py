@@ -1,0 +1,68 @@
+"""EXP-IDX — §5.2 scalability of the global object view.
+
+"An important future challenge is to demonstrate scalability of this
+global view to a huge numbers of objects [HoSt00].  ...  it is possible to
+structure most data-intensive HEP applications in such a way that each
+application run specifies up front exactly which set of objects are
+needed.  These objects can then be found in one single collective lookup
+operation on the global view."
+
+Unlike the simulation benches, this one measures real harness performance
+(pytest-benchmark's home turf): collective lookups against a large index.
+"""
+
+import pytest
+
+from repro.objectdb.oid import OID
+from repro.objectrep import GlobalObjectIndex
+
+INDEX_SIZE = 200_000
+LOOKUP_KEYS = 10_000
+
+
+def build_index(n: int) -> GlobalObjectIndex:
+    index = GlobalObjectIndex()
+    for i in range(n):
+        index.record(f"{i}/aod", "cern", f"f{i // 1000}.db",
+                     OID(i // 1000 + 1, 0, i % 1000))
+    return index
+
+
+@pytest.fixture(scope="module")
+def big_index():
+    return build_index(INDEX_SIZE)
+
+
+def test_collective_lookup_scales(benchmark, big_index):
+    keys = [f"{i}/aod" for i in range(0, INDEX_SIZE, INDEX_SIZE // LOOKUP_KEYS)]
+
+    result = benchmark(big_index.locate_many, keys)
+
+    assert len(result) == len(keys)
+    assert all(copies for copies in result.values())
+    # one collective call, not one per key
+    benchmark.extra_info.update(
+        {
+            "index_entries": INDEX_SIZE,
+            "keys_per_lookup": len(keys),
+        }
+    )
+
+
+def test_missing_at_scales(benchmark, big_index):
+    keys = [f"{i}/aod" for i in range(0, 2 * LOOKUP_KEYS)]
+
+    missing = benchmark(big_index.missing_at, "anl", keys)
+
+    # nothing is at anl yet: everything known is "missing there"
+    assert len(missing) == len(keys)
+
+
+def test_serialization_round_trip_scales(benchmark):
+    index = build_index(20_000)
+
+    def round_trip():
+        return GlobalObjectIndex.from_index_payload(index.to_index_payload())
+
+    clone = benchmark(round_trip)
+    assert len(clone) == len(index)

@@ -1,0 +1,28 @@
+"""EXP-ABL1 — architecture ablation: GDMP 2.0 vs the GDMP 1.2 baseline.
+
+Quantifies what the paper's second-generation architecture buys over the
+Objectivity-only, single-stream, no-restart, no-CRC first generation.
+"""
+
+from repro.experiments import legacy_comparison
+
+
+def test_gdmp2_vs_gdmp12(once):
+    result = once(legacy_comparison.run)
+
+    # tuned parallel GridFTP vs one untuned FTP stream: ~4-6x
+    assert result.clean_speedup > 3.0
+    # restart markers retransmit only the missing tail; 1.2 resends it all
+    assert result.failure_v2_wire_mb < 1.1 * result.size_mb
+    assert result.failure_v12_wire_mb > 1.6 * result.size_mb
+    # the CRC check is the difference between a correct replica and a
+    # silently corrupted one
+    assert result.corruption_detected_v2
+    assert not result.corruption_detected_v12
+
+    once.benchmark.extra_info.update(
+        {
+            "clean_speedup": round(result.clean_speedup, 1),
+            "failure_waste_ratio": round(result.failure_waste_ratio, 2),
+        }
+    )

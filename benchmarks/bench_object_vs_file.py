@@ -1,0 +1,41 @@
+"""EXP-OBJ1 — §5.1: sparse selections make object replication the only
+efficient option; the strategies converge only for dense selections."""
+
+from repro.experiments import object_vs_file
+
+
+def by_fraction(result, target):
+    return min(
+        result.comparisons,
+        key=lambda c: abs(c.selection_fraction - target),
+    )
+
+
+def test_object_vs_file(once):
+    result = once(object_vs_file.run)
+
+    sparse = by_fraction(result, 0.001)
+    mid = by_fraction(result, 0.01)
+    dense = by_fraction(result, 1.0)
+
+    # paper's example regime: object replication wins by orders of magnitude
+    assert sparse.winner == "object"
+    assert sparse.ratio > 100
+    assert mid.ratio > 20
+    # "the a priori probability that any existing file happens to contain
+    # more than 50% of the selected objects is extremely low"
+    assert sparse.majority_probability < 1e-50
+    # object replication ships almost only useful bytes
+    assert sparse.object_strategy.efficiency > 0.9
+    # at full selection the existing files are exactly right: file wins
+    assert dense.winner == "file"
+    # the crossover sits at a genuinely dense selection
+    assert result.crossover_fraction > 0.5
+
+    once.benchmark.extra_info.update(
+        {
+            "ratio_at_0.1pct": round(sparse.ratio, 1),
+            "ratio_at_1pct": round(mid.ratio, 1),
+            "crossover_fraction": result.crossover_fraction,
+        }
+    )

@@ -1,0 +1,22 @@
+"""EXP-OBJ2 — §5.2: "Object copying and file transport operations are
+pipelined to achieve a better response time and greater efficiency."."""
+
+from repro.experiments import pipeline
+
+
+def test_pipelining_speedup(once):
+    result = once(pipeline.run)
+
+    # pipelining overlaps copier time with WAN time: a real speedup
+    assert result.speedup > 1.3
+    # but never better than fully hiding one of the two phases
+    assert result.speedup < 2.6
+    assert result.pipelined_time < result.sequential_time
+
+    once.benchmark.extra_info.update(
+        {
+            "sequential_s": round(result.sequential_time, 2),
+            "pipelined_s": round(result.pipelined_time, 2),
+            "speedup": round(result.speedup, 2),
+        }
+    )

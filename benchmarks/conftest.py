@@ -1,0 +1,29 @@
+"""Benchmark-suite conventions.
+
+Every bench regenerates one figure/table of the paper (see the EXP-* index
+in DESIGN.md), asserts the paper's *shape* (who wins, by what factor, where
+crossovers fall), and records the key paper-vs-measured numbers in
+``benchmark.extra_info`` so the saved benchmark JSON doubles as the
+reproduction record.
+
+Run with:  pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the (simulation-heavy) experiment exactly once under timing.
+
+    pytest-benchmark's auto-calibration would re-run multi-second
+    simulations dozens of times; one round per bench keeps the suite fast
+    while still timing the harness.
+    """
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    run.benchmark = benchmark
+    return run

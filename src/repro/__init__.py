@@ -1,0 +1,18 @@
+"""repro — a from-scratch reproduction of GDMP (HPDC 2001).
+
+Top-level package for the reproduction of *File and Object Replication in
+Data Grids*.  See ``DESIGN.md`` for the system inventory and
+``EXPERIMENTS.md`` for the reproduced figures and claims.
+
+The most common entry points are re-exported here::
+
+    from repro import DataGrid, GdmpConfig
+    grid = DataGrid([GdmpConfig("cern"), GdmpConfig("anl")])
+"""
+
+from repro.gdmp.config import GdmpConfig
+from repro.gdmp.grid import DataGrid, GdmpSite
+
+__version__ = "1.0.0"
+
+__all__ = ["DataGrid", "GdmpConfig", "GdmpSite", "__version__"]

@@ -1,0 +1,36 @@
+"""Replica catalog substrate.
+
+Three layers, mirroring the paper's stack (§3.1, §4.2):
+
+1. :mod:`repro.catalog.ldapsim` — an in-process LDAP directory (the Globus
+   Replica Catalog "uses the LDAP protocol to interface with the database
+   backend");
+2. :mod:`repro.catalog.replica_catalog` — the Globus Replica Catalog object
+   model: *collections*, *locations*, and *logical file entries*;
+3. :mod:`repro.catalog.gdmp_catalog` — GDMP's "higher-level object-oriented
+   wrapper ... search filters, sanity checks on input parameters, and
+   automatic creation of required entries".
+"""
+
+from repro.catalog.gdmp_catalog import GdmpCatalog, LogicalFileInfo
+from repro.catalog.ldapsim import (
+    FilterSyntaxError,
+    LdapDirectory,
+    LdapError,
+    parse_filter,
+)
+from repro.catalog.replica_catalog import (
+    CatalogError,
+    ReplicaCatalog,
+)
+
+__all__ = [
+    "CatalogError",
+    "FilterSyntaxError",
+    "GdmpCatalog",
+    "LdapDirectory",
+    "LdapError",
+    "LogicalFileInfo",
+    "ReplicaCatalog",
+    "parse_filter",
+]

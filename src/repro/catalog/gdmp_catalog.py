@@ -1,0 +1,165 @@
+"""GDMP's high-level replica catalog service.
+
+§4.2: "The GDMP Replica Catalog service is a higher-level object-oriented
+wrapper to the underlying Globus Replica Catalog library.  This wrapper
+hides some Globus API details and also introduces additional functionality
+such as search filters, sanity checks on input parameters, and automatic
+creation of required entries if they do not already exist.  The high-level
+API is also easier to use and requires fewer method calls to add, delete,
+or search files in the catalog."
+
+It also owns the global namespace guarantee: "The Replica Catalog service
+also ensures a global name space by making sure that all logical file names
+are unique in the catalog.  GDMP supports both the automatic generation and
+user selection of new logical file names."
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.catalog.replica_catalog import CatalogError, ReplicaCatalog
+
+__all__ = ["LogicalFileInfo", "GdmpCatalog"]
+
+
+@dataclass(frozen=True)
+class LogicalFileInfo:
+    """What a `publish` records and a query returns for one logical file."""
+
+    lfn: str
+    size: float
+    modified: float
+    crc: int
+    attributes: dict
+    locations: tuple[dict, ...]
+
+
+class GdmpCatalog:
+    """Few-call publish/search/locate interface over :class:`ReplicaCatalog`."""
+
+    def __init__(
+        self,
+        catalog: Optional[ReplicaCatalog] = None,
+        collection: str = "gdmp",
+    ):
+        self.catalog = catalog or ReplicaCatalog()
+        self.collection = collection
+        self._auto_lfn = itertools.count(1)
+        # automatic creation of required entries
+        if not self.catalog.collection_exists(collection):
+            self.catalog.create_collection(collection)
+
+    # -- namespace ------------------------------------------------------------
+    def generate_lfn(self, stem: str = "file") -> str:
+        """Automatic logical file name generation (collision-free)."""
+        while True:
+            candidate = f"{stem}.{next(self._auto_lfn):06d}"
+            if not self.lfn_exists(candidate):
+                return candidate
+
+    def lfn_exists(self, lfn: str) -> bool:
+        """Whether the logical file name is already taken."""
+        return lfn in self.catalog.collection_filenames(self.collection)
+
+    # -- publishing ---------------------------------------------------------------
+    def register_site(self, site: str, url_prefix: Optional[str] = None) -> None:
+        """Idempotently ensure a location object exists for ``site``."""
+        if not self.catalog.location_exists(self.collection, site):
+            self.catalog.create_location(
+                self.collection,
+                site,
+                hostname=site,
+                url_prefix=url_prefix or f"gsiftp://{site}/storage",
+            )
+
+    def publish(
+        self,
+        site: str,
+        size: float,
+        modified: float,
+        crc: int,
+        lfn: Optional[str] = None,
+        **attributes,
+    ) -> str:
+        """Register a new logical file and its first replica in one call.
+
+        User-selected LFNs are "verified to be unique before adding them to
+        the replica catalog"; pass ``lfn=None`` for automatic generation.
+        Returns the LFN.
+        """
+        if size < 0:
+            raise CatalogError("size must be non-negative")
+        if lfn is not None:
+            if not lfn or "/" in lfn or "," in lfn:
+                raise CatalogError(f"invalid logical file name {lfn!r}")
+            if self.lfn_exists(lfn):
+                raise CatalogError(f"logical file name {lfn!r} already in use")
+        else:
+            lfn = self.generate_lfn()
+        self.register_site(site)
+        self.catalog.add_filename_to_collection(self.collection, lfn)
+        self.catalog.create_logical_file_entry(
+            self.collection,
+            lfn,
+            {
+                "size": f"{size:.0f}",
+                "modified": f"{modified:.6f}",
+                "crc": str(crc),
+                **{k: str(v) for k, v in attributes.items()},
+            },
+        )
+        self.catalog.add_filename_to_location(self.collection, site, lfn)
+        return lfn
+
+    def add_replica(self, lfn: str, site: str) -> None:
+        """Record that ``site`` now also holds ``lfn``."""
+        if not self.lfn_exists(lfn):
+            raise CatalogError(f"unknown logical file {lfn!r}")
+        self.register_site(site)
+        self.catalog.add_filename_to_location(self.collection, site, lfn)
+
+    def remove_replica(self, lfn: str, site: str) -> None:
+        """Remove a replica record; the last removal retires the LFN."""
+        self.catalog.remove_filename_from_location(self.collection, site, lfn)
+        if not self.locations(lfn):
+            # last replica gone: retire the logical file entirely
+            self.catalog.delete_logical_file_entry(self.collection, lfn)
+            self.catalog.remove_filename_from_collection(self.collection, lfn)
+
+    # -- queries --------------------------------------------------------------------
+    def locations(self, lfn: str) -> list[dict]:
+        """All physical locations of a logical file."""
+        return self.catalog.locations_of(self.collection, lfn)
+
+    def info(self, lfn: str) -> LogicalFileInfo:
+        """Metadata plus locations of one logical file."""
+        attrs = self.catalog.logical_file_attributes(self.collection, lfn)
+        return LogicalFileInfo(
+            lfn=lfn,
+            size=float(attrs.pop("size", "0")),
+            modified=float(attrs.pop("modified", "0")),
+            crc=int(attrs.pop("crc", "0")),
+            attributes={k: v for k, v in attrs.items() if k != "lfn"},
+            locations=tuple(self.locations(lfn)),
+        )
+
+    def search(self, filter_text: str = "(lfn=*)") -> list[LogicalFileInfo]:
+        """Filtered metadata search (§4.2: "Users can specify filters to
+        obtain the exact information that they require")."""
+        lfns = self.catalog.search_logical_files(self.collection, filter_text)
+        return [self.info(lfn) for lfn in lfns]
+
+    def list_lfns(self) -> list[str]:
+        """Every logical file name in the collection."""
+        return self.catalog.collection_filenames(self.collection)
+
+    def site_files(self, site: str) -> list[str]:
+        """All LFNs a site holds — "obtaining a remote site's file catalog
+        for failure recovery" (§4.1)."""
+        try:
+            return self.catalog.location_filenames(self.collection, site)
+        except CatalogError:
+            return []

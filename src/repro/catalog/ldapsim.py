@@ -1,0 +1,278 @@
+"""An in-process LDAP directory with RFC 4515-style search filters.
+
+Models the parts of LDAP the Globus Replica Catalog uses: a tree of entries
+keyed by distinguished names, multi-valued attributes, and subtree search
+with string filters — ``(&(objectClass=GlobusReplicaLogicalFile)(size>=1000))``.
+
+DNs are written little-endian as in LDAP: ``"lf=higgs.db,rc=gdmp,o=grid"``
+is a child of ``"rc=gdmp,o=grid"``.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+__all__ = [
+    "LdapError",
+    "FilterSyntaxError",
+    "Entry",
+    "LdapDirectory",
+    "parse_filter",
+]
+
+
+class LdapError(Exception):
+    """Directory operation failure (missing entry, duplicate, ...)."""
+
+
+class FilterSyntaxError(LdapError):
+    """Malformed search filter."""
+
+
+def split_dn(dn: str) -> list[str]:
+    """``"a=1,b=2,c=3"`` -> ``["a=1", "b=2", "c=3"]`` with validation."""
+    parts = [part.strip() for part in dn.split(",")]
+    for part in parts:
+        if "=" not in part or not part.split("=", 1)[0]:
+            raise LdapError(f"malformed DN component {part!r} in {dn!r}")
+    return parts
+
+
+def parent_dn(dn: str) -> Optional[str]:
+    """The parent DN, or None for a top-level entry."""
+    parts = split_dn(dn)
+    return ",".join(parts[1:]) if len(parts) > 1 else None
+
+
+@dataclass
+class Entry:
+    """One directory entry: a DN plus multi-valued attributes."""
+
+    dn: str
+    attributes: dict[str, list[str]] = field(default_factory=dict)
+
+    def first(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        """First value of an attribute, or ``default`` when absent."""
+        values = self.attributes.get(name)
+        return values[0] if values else default
+
+    def values(self, name: str) -> list[str]:
+        """All values of an attribute (empty list when absent)."""
+        return list(self.attributes.get(name, []))
+
+
+# --------------------------------------------------------------------------
+# Filter parsing: RFC 4515 subset — and/or/not, equality, presence,
+# substring (*), >= and <=.  Comparisons are numeric when both operands
+# parse as floats, else lexicographic.
+# --------------------------------------------------------------------------
+
+Matcher = Callable[[Entry], bool]
+
+
+def _compare(entry: Entry, attr: str, op: str, literal: str) -> bool:
+    for value in entry.attributes.get(attr, []):
+        try:
+            lhs: object = float(value)
+            rhs: object = float(literal)
+        except ValueError:
+            lhs, rhs = value, literal
+        if op == ">=" and lhs >= rhs:  # type: ignore[operator]
+            return True
+        if op == "<=" and lhs <= rhs:  # type: ignore[operator]
+            return True
+    return False
+
+
+class _FilterParser:
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def fail(self, message: str) -> FilterSyntaxError:
+        return FilterSyntaxError(f"{message} at offset {self.pos} in {self.text!r}")
+
+    def parse(self) -> Matcher:
+        matcher = self.parse_filter()
+        if self.pos != len(self.text):
+            raise self.fail("trailing characters")
+        return matcher
+
+    def expect(self, char: str) -> None:
+        if self.pos >= len(self.text) or self.text[self.pos] != char:
+            raise self.fail(f"expected {char!r}")
+        self.pos += 1
+
+    def parse_filter(self) -> Matcher:
+        self.expect("(")
+        if self.pos >= len(self.text):
+            raise self.fail("unterminated filter")
+        head = self.text[self.pos]
+        if head == "&":
+            self.pos += 1
+            children = self.parse_filter_list()
+            matcher = lambda e, cs=children: all(c(e) for c in cs)  # noqa: E731
+        elif head == "|":
+            self.pos += 1
+            children = self.parse_filter_list()
+            matcher = lambda e, cs=children: any(c(e) for c in cs)  # noqa: E731
+        elif head == "!":
+            self.pos += 1
+            child = self.parse_filter()
+            matcher = lambda e, c=child: not c(e)  # noqa: E731
+        else:
+            matcher = self.parse_simple()
+        self.expect(")")
+        return matcher
+
+    def parse_filter_list(self) -> list[Matcher]:
+        children = []
+        while self.pos < len(self.text) and self.text[self.pos] == "(":
+            children.append(self.parse_filter())
+        if not children:
+            raise self.fail("empty filter list")
+        return children
+
+    def parse_simple(self) -> Matcher:
+        end = self.text.find(")", self.pos)
+        if end == -1:
+            raise self.fail("unterminated simple filter")
+        body = self.text[self.pos : end]
+        self.pos = end
+        for op in (">=", "<="):
+            if op in body:
+                attr, literal = body.split(op, 1)
+                if not attr:
+                    raise self.fail("missing attribute")
+                return lambda e, a=attr, o=op, l=literal: _compare(e, a, o, l)
+        if "=" not in body:
+            raise self.fail("missing comparator")
+        attr, literal = body.split("=", 1)
+        if not attr:
+            raise self.fail("missing attribute")
+        if literal == "*":
+            return lambda e, a=attr: bool(e.attributes.get(a))
+        if "*" in literal:
+            return lambda e, a=attr, pat=literal: any(
+                fnmatch.fnmatchcase(v, pat) for v in e.attributes.get(a, [])
+            )
+        return lambda e, a=attr, l=literal: l in e.attributes.get(a, [])
+
+
+def parse_filter(text: str) -> Matcher:
+    """Compile an LDAP filter string to a predicate over :class:`Entry`."""
+    return _FilterParser(text).parse()
+
+
+# --------------------------------------------------------------------------
+# The directory itself.
+# --------------------------------------------------------------------------
+
+
+class LdapDirectory:
+    """A flat-stored, hierarchically-addressed entry store."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, Entry] = {}
+        self.operations = 0  # op counter (feeds the catalog-latency bench)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def exists(self, dn: str) -> bool:
+        """Whether an entry with this DN exists."""
+        return dn in self._entries
+
+    def add(self, dn: str, attributes: dict[str, Iterable[str]]) -> Entry:
+        """Add an entry; its parent must already exist."""
+        self.operations += 1
+        if dn in self._entries:
+            raise LdapError(f"entry exists: {dn!r}")
+        parent = parent_dn(dn)
+        if parent is not None and parent not in self._entries:
+            raise LdapError(f"parent {parent!r} of {dn!r} does not exist")
+        entry = Entry(dn=dn, attributes={k: list(v) for k, v in attributes.items()})
+        self._entries[dn] = entry
+        return entry
+
+    def get(self, dn: str) -> Entry:
+        """Fetch an entry by DN; raises LdapError when missing."""
+        self.operations += 1
+        try:
+            return self._entries[dn]
+        except KeyError:
+            raise LdapError(f"no such entry: {dn!r}") from None
+
+    def delete(self, dn: str) -> None:
+        """Delete a leaf entry; entries with children are protected."""
+        self.operations += 1
+        if dn not in self._entries:
+            raise LdapError(f"no such entry: {dn!r}")
+        if any(parent_dn(other) == dn for other in self._entries):
+            raise LdapError(f"entry {dn!r} has children")
+        del self._entries[dn]
+
+    def modify_add(self, dn: str, attr: str, value: str) -> None:
+        """Add a value to a (possibly new) attribute; idempotent."""
+        entry = self.get(dn)
+        values = entry.attributes.setdefault(attr, [])
+        if value not in values:
+            values.append(value)
+
+    def modify_delete(self, dn: str, attr: str, value: Optional[str] = None) -> None:
+        """Remove one value (or, with value=None, the whole attribute)."""
+        entry = self.get(dn)
+        if attr not in entry.attributes:
+            raise LdapError(f"{dn!r} has no attribute {attr!r}")
+        if value is None:
+            del entry.attributes[attr]
+            return
+        try:
+            entry.attributes[attr].remove(value)
+        except ValueError:
+            raise LdapError(f"{dn!r}: {attr}={value!r} not present") from None
+        if not entry.attributes[attr]:
+            del entry.attributes[attr]
+
+    def modify_replace(self, dn: str, attr: str, values: Iterable[str]) -> None:
+        """Replace all values of an attribute."""
+        entry = self.get(dn)
+        entry.attributes[attr] = list(values)
+
+    def children(self, dn: str) -> list[Entry]:
+        """Direct children of a DN, sorted by DN."""
+        self.operations += 1
+        return sorted(
+            (e for d, e in self._entries.items() if parent_dn(d) == dn),
+            key=lambda e: e.dn,
+        )
+
+    def search(
+        self,
+        base: str,
+        filter_text: str = "(objectClass=*)",
+        scope: str = "subtree",
+    ) -> list[Entry]:
+        """Search ``base`` with an RFC 4515 filter.
+
+        ``scope``: ``"base"`` (the entry itself), ``"one"`` (direct
+        children), or ``"subtree"`` (base and all descendants).
+        """
+        self.operations += 1
+        if base not in self._entries:
+            raise LdapError(f"search base {base!r} does not exist")
+        matcher = parse_filter(filter_text)
+        if scope == "base":
+            candidates = [self._entries[base]]
+        elif scope == "one":
+            candidates = self.children(base)
+        elif scope == "subtree":
+            suffix = "," + base
+            candidates = [
+                e for d, e in self._entries.items() if d == base or d.endswith(suffix)
+            ]
+        else:
+            raise ValueError(f"unknown scope {scope!r}")
+        return sorted((e for e in candidates if matcher(e)), key=lambda e: e.dn)

@@ -1,0 +1,271 @@
+"""The Globus Replica Catalog object model over the LDAP directory.
+
+§3.1 of the paper: "The catalog contains three types of object.  The
+highest-level object is the collection, a group of logical file names.  A
+location object contains the information required to map between a logical
+filename ... and the (possibly multiple) physical locations of the
+associated replicas.  The final object is a logical file entry [which] can
+be used to store attribute-value pair information for individual logical
+files."
+
+The DN layout mirrors the real catalog::
+
+    rc=<catalog>, o=grid                              (root)
+    cn=<collection>, rc=<catalog>, o=grid             (collection)
+    loc=<location>, cn=<c>, rc=<catalog>, o=grid      (location)
+    lf=<lfn>, cn=<c>, rc=<catalog>, o=grid            (logical file entry)
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.catalog.ldapsim import LdapDirectory, LdapError
+
+__all__ = ["CatalogError", "ReplicaCatalog"]
+
+ROOT_SUFFIX = "o=grid"
+
+
+class CatalogError(Exception):
+    """Replica catalog operation failure."""
+
+
+def _escape(value: str) -> str:
+    if any(ch in value for ch in ",=()"):
+        raise CatalogError(f"name may not contain ',=()' characters: {value!r}")
+    return value
+
+
+class ReplicaCatalog:
+    """Collections, locations, and logical file entries.
+
+    This is the *low-level* Globus API: callers must create collections and
+    locations before registering filenames (the GDMP wrapper in
+    :mod:`repro.catalog.gdmp_catalog` automates that).
+    """
+
+    def __init__(self, directory: Optional[LdapDirectory] = None, name: str = "rc"):
+        self.directory = directory or LdapDirectory()
+        self.name = _escape(name)
+        self.root_dn = f"rc={self.name},{ROOT_SUFFIX}"
+        if not self.directory.exists(ROOT_SUFFIX):
+            self.directory.add(ROOT_SUFFIX, {"objectClass": ["organization"]})
+        if not self.directory.exists(self.root_dn):
+            self.directory.add(
+                self.root_dn, {"objectClass": ["GlobusReplicaCatalog"]}
+            )
+
+    # -- DN helpers ----------------------------------------------------------
+    def collection_dn(self, collection: str) -> str:
+        """DN of a collection entry."""
+        return f"cn={_escape(collection)},{self.root_dn}"
+
+    def location_dn(self, collection: str, location: str) -> str:
+        """DN of a location entry within a collection."""
+        return f"loc={_escape(location)},{self.collection_dn(collection)}"
+
+    def logical_file_dn(self, collection: str, lfn: str) -> str:
+        """DN of a logical file entry within a collection."""
+        return f"lf={_escape(lfn)},{self.collection_dn(collection)}"
+
+    # -- collections ---------------------------------------------------------
+    def create_collection(self, collection: str) -> None:
+        """Create an empty collection."""
+        try:
+            self.directory.add(
+                self.collection_dn(collection),
+                {"objectClass": ["GlobusReplicaCollection"], "filename": []},
+            )
+        except LdapError as exc:
+            raise CatalogError(str(exc)) from exc
+
+    def delete_collection(self, collection: str) -> None:
+        """Delete a collection and all its locations and logical file entries."""
+        dn = self.collection_dn(collection)
+        try:
+            for child in self.directory.children(dn):
+                self.directory.delete(child.dn)
+            self.directory.delete(dn)
+        except LdapError as exc:
+            raise CatalogError(str(exc)) from exc
+
+    def list_collections(self) -> list[str]:
+        """Names of all collections in this catalog."""
+        return [
+            entry.dn.split(",", 1)[0].split("=", 1)[1]
+            for entry in self.directory.children(self.root_dn)
+        ]
+
+    def collection_exists(self, collection: str) -> bool:
+        """Whether the collection exists."""
+        return self.directory.exists(self.collection_dn(collection))
+
+    def add_filename_to_collection(self, collection: str, lfn: str) -> None:
+        """Register a logical file name in the collection's name list."""
+        self._require_collection(collection)
+        self.directory.modify_add(self.collection_dn(collection), "filename", lfn)
+
+    def remove_filename_from_collection(self, collection: str, lfn: str) -> None:
+        """Remove a logical file name from the collection's name list."""
+        try:
+            self.directory.modify_delete(self.collection_dn(collection), "filename", lfn)
+        except LdapError as exc:
+            raise CatalogError(str(exc)) from exc
+
+    def collection_filenames(self, collection: str) -> list[str]:
+        """All logical file names registered in the collection."""
+        self._require_collection(collection)
+        return self.directory.get(self.collection_dn(collection)).values("filename")
+
+    # -- locations -------------------------------------------------------------
+    def create_location(
+        self, collection: str, location: str, hostname: str, url_prefix: str
+    ) -> None:
+        """Create a location object (a site holding replicas of this collection)."""
+        self._require_collection(collection)
+        try:
+            self.directory.add(
+                self.location_dn(collection, location),
+                {
+                    "objectClass": ["GlobusReplicaLocation"],
+                    "hostname": [hostname],
+                    "urlPrefix": [url_prefix],
+                    "filename": [],
+                },
+            )
+        except LdapError as exc:
+            raise CatalogError(str(exc)) from exc
+
+    def delete_location(self, collection: str, location: str) -> None:
+        """Delete a location object."""
+        try:
+            self.directory.delete(self.location_dn(collection, location))
+        except LdapError as exc:
+            raise CatalogError(str(exc)) from exc
+
+    def location_exists(self, collection: str, location: str) -> bool:
+        """Whether the location exists in the collection."""
+        return self.directory.exists(self.location_dn(collection, location))
+
+    def list_locations(self, collection: str) -> list[str]:
+        """Names of all locations registered in the collection."""
+        self._require_collection(collection)
+        return [
+            entry.dn.split(",", 1)[0].split("=", 1)[1]
+            for entry in self.directory.children(self.collection_dn(collection))
+            if entry.dn.startswith("loc=")
+        ]
+
+    def add_filename_to_location(
+        self, collection: str, location: str, lfn: str
+    ) -> None:
+        """Record that the location holds a replica of the logical file."""
+        if lfn not in self.collection_filenames(collection):
+            raise CatalogError(
+                f"{lfn!r} is not in collection {collection!r}; register it first"
+            )
+        dn = self.location_dn(collection, location)
+        if not self.directory.exists(dn):
+            raise CatalogError(f"no location {location!r} in {collection!r}")
+        self.directory.modify_add(dn, "filename", lfn)
+
+    def remove_filename_from_location(
+        self, collection: str, location: str, lfn: str
+    ) -> None:
+        """Remove the replica record of a logical file at the location."""
+        try:
+            self.directory.modify_delete(
+                self.location_dn(collection, location), "filename", lfn
+            )
+        except LdapError as exc:
+            raise CatalogError(str(exc)) from exc
+
+    def location_filenames(self, collection: str, location: str) -> list[str]:
+        """Logical file names the location holds replicas of."""
+        try:
+            return self.directory.get(self.location_dn(collection, location)).values(
+                "filename"
+            )
+        except LdapError as exc:
+            raise CatalogError(str(exc)) from exc
+
+    def location_info(self, collection: str, location: str) -> dict[str, str]:
+        """The location's hostname and URL prefix."""
+        try:
+            entry = self.directory.get(self.location_dn(collection, location))
+        except LdapError as exc:
+            raise CatalogError(str(exc)) from exc
+        return {
+            "hostname": entry.first("hostname", ""),
+            "urlPrefix": entry.first("urlPrefix", ""),
+        }
+
+    # -- logical file entries -----------------------------------------------------
+    def create_logical_file_entry(
+        self, collection: str, lfn: str, attributes: dict[str, str]
+    ) -> None:
+        """Create the optional attribute-value entry for a logical file."""
+        self._require_collection(collection)
+        try:
+            self.directory.add(
+                self.logical_file_dn(collection, lfn),
+                {
+                    "objectClass": ["GlobusReplicaLogicalFile"],
+                    "lfn": [lfn],
+                    **{k: [str(v)] for k, v in attributes.items()},
+                },
+            )
+        except LdapError as exc:
+            raise CatalogError(str(exc)) from exc
+
+    def logical_file_attributes(self, collection: str, lfn: str) -> dict[str, str]:
+        """Attribute-value pairs stored for a logical file."""
+        try:
+            entry = self.directory.get(self.logical_file_dn(collection, lfn))
+        except LdapError as exc:
+            raise CatalogError(str(exc)) from exc
+        return {
+            k: v[0]
+            for k, v in entry.attributes.items()
+            if k not in ("objectClass",) and v
+        }
+
+    def delete_logical_file_entry(self, collection: str, lfn: str) -> None:
+        """Delete a logical file's attribute entry."""
+        try:
+            self.directory.delete(self.logical_file_dn(collection, lfn))
+        except LdapError as exc:
+            raise CatalogError(str(exc)) from exc
+
+    def search_logical_files(self, collection: str, filter_text: str) -> list[str]:
+        """LFNs in ``collection`` whose entries match the LDAP filter."""
+        self._require_collection(collection)
+        composed = f"(&(objectClass=GlobusReplicaLogicalFile){filter_text})"
+        entries = self.directory.search(
+            self.collection_dn(collection), composed, scope="one"
+        )
+        return [e.first("lfn", "") for e in entries]
+
+    # -- the heart of the system ----------------------------------------------
+    def locations_of(self, collection: str, lfn: str) -> list[dict[str, str]]:
+        """All physical locations of a logical file (§3.1: "the heart of
+        the system").  Each result carries the location name, hostname and
+        the physical URL."""
+        results = []
+        for location in self.list_locations(collection):
+            if lfn in self.location_filenames(collection, location):
+                info = self.location_info(collection, location)
+                results.append(
+                    {
+                        "location": location,
+                        "hostname": info["hostname"],
+                        "url": f"{info['urlPrefix'].rstrip('/')}/{lfn}",
+                    }
+                )
+        return results
+
+    # -- internals --------------------------------------------------------------
+    def _require_collection(self, collection: str) -> None:
+        if not self.collection_exists(collection):
+            raise CatalogError(f"no such collection {collection!r}")

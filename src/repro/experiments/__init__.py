@@ -1,0 +1,58 @@
+"""Experiment harness: one module per figure / table / claim of the paper.
+
+Every experiment exposes ``run(...)`` returning a plain data structure and
+``report(result)`` printing the same rows/series the paper shows.  The
+benchmarks under ``benchmarks/`` call ``run``; ``python -m repro.experiments
+<name>`` prints the report.
+
+Index (see DESIGN.md for the full mapping):
+
+========  ==========================================================
+figure5   Fig. 5 — transfer rate vs #streams, default 64 KiB buffers
+figure6   Fig. 6 — same with 1 MiB tuned buffers
+tuning    §6 claims T1-T3 (tuned-vs-untuned stream equivalences)
+buffer    EXP-BDP — throughput vs buffer size; optimal = RTT x bw
+objects   EXP-OBJ1 — §5.1 file-vs-object bytes, crossover, P(majority)
+pipeline  EXP-OBJ2 — §5.2 pipelined vs sequential object replication
+server    EXP-OBJ3 — §5.3 server overhead per serving mode
+catalog   EXP-CAT — replica catalog operation latency local vs WAN
+gdmp      EXP-GDMP — end-to-end replication pipeline with failures
+staging   EXP-MSS — stage-on-demand cost
+========  ==========================================================
+"""
+
+from repro.experiments import (  # noqa: F401
+    buffer_sweep,
+    catalog_bench,
+    catalog_replication_bench,
+    clustering,
+    figure5,
+    figure6,
+    gdmp_pipeline,
+    legacy_comparison,
+    object_vs_file,
+    pipeline,
+    remote_access,
+    server_overhead,
+    staging,
+    tuning_claims,
+)
+
+EXPERIMENTS = {
+    "figure5": figure5,
+    "figure6": figure6,
+    "tuning": tuning_claims,
+    "buffer": buffer_sweep,
+    "objects": object_vs_file,
+    "pipeline": pipeline,
+    "server": server_overhead,
+    "catalog": catalog_bench,
+    "gdmp": gdmp_pipeline,
+    "staging": staging,
+    "legacy": legacy_comparison,
+    "clustering": clustering,
+    "catalog-replication": catalog_replication_bench,
+    "remote-access": remote_access,
+}
+
+__all__ = ["EXPERIMENTS"]

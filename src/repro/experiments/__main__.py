@@ -1,0 +1,29 @@
+"""CLI: ``python -m repro.experiments [name ...|all]`` regenerates the
+paper's figures/tables as text reports."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import EXPERIMENTS
+
+
+def main(argv: list[str]) -> int:
+    """Entry point: run the named experiments (or all) and print reports."""
+    names = argv or ["all"]
+    if names == ["all"]:
+        names = list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}")
+        print(f"available: {', '.join(EXPERIMENTS)}  (or 'all')")
+        return 2
+    for name in names:
+        module = EXPERIMENTS[name]
+        print(f"=== {name} ===")
+        module.main()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

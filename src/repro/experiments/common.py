@@ -1,0 +1,45 @@
+"""Shared helpers for the experiment harness."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "print_table", "transfer_rate_mbps"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str = "",
+) -> str:
+    """Fixed-width text table (the harness prints paper-style rows)."""
+    rendered_rows = [
+        [f"{cell:.2f}" if isinstance(cell, float) else str(cell) for cell in row]
+        for row in rows
+    ]
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in rendered_rows))
+        if rendered_rows
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(headers, rows, title=""):
+    """Format and print a table followed by a blank line."""
+    print(format_table(headers, rows, title))
+    print()
+
+
+def transfer_rate_mbps(nbytes: float, seconds: float) -> float:
+    """Bytes over seconds, expressed in Mbps."""
+    return nbytes * 8.0 / 1e6 / seconds if seconds > 0 else 0.0

@@ -1,0 +1,182 @@
+"""Distribution and replication of the replica catalog (§4.2 future work).
+
+"We do not currently distribute or replicate the replica catalog but
+instead, for simplicity, use a central replica catalog and a single LDAP
+server.  In the future, we will explore both distribution and replication
+of the replica catalog."
+
+We implement that future: a *primary* catalog (the existing central
+service) plus read-only replicas at chosen sites.  Writes go to the
+primary, which asynchronously propagates each applied write to every
+replica (single-writer eventual consistency, in-order per replica because
+the simulated message channel is FIFO per pair).  Reads are served by the
+local replica when one exists — turning the 1-RTT WAN lookup into a local
+operation, at the cost of a staleness window of roughly one propagation
+delay.
+"""
+
+from __future__ import annotations
+
+from repro.catalog.gdmp_catalog import GdmpCatalog
+from repro.gdmp.replica_service import CatalogProxy, ReplicaCatalogService
+from repro.gdmp.request_manager import AuthenticatedRequest, GdmpError
+
+__all__ = ["CatalogReplica", "ReplicatedCatalogProxy", "enable_catalog_replication"]
+
+READ_OPERATIONS = (
+    "locations",
+    "info",
+    "search",
+    "site_files",
+    "lfn_exists",
+    "list_lfns",
+)
+
+
+class CatalogReplica:
+    """A read-only catalog copy at one site, fed by the primary's writes."""
+
+    def __init__(self, site) -> None:
+        self.site = site
+        self.catalog = GdmpCatalog()
+        self.applied_writes = 0
+        # read operations answer from the local copy
+        for op in READ_OPERATIONS:
+            site.request_server.register(f"catalog.{op}", self._make_read(op))
+        # the primary pushes writes here
+        site.request_server.register("catalog.apply", self._op_apply)
+
+    def _make_read(self, op: str):
+        catalog = self.catalog
+
+        def handler(request: AuthenticatedRequest, op=op):
+            payload = request.payload
+            if op == "locations":
+                return catalog.locations(payload["lfn"])
+            if op == "info":
+                return catalog.info(payload["lfn"])
+            if op == "search":
+                return catalog.search(payload["filter"])
+            if op == "site_files":
+                return catalog.site_files(payload["site"])
+            if op == "lfn_exists":
+                return catalog.lfn_exists(payload["lfn"])
+            if op == "list_lfns":
+                return catalog.list_lfns()
+            raise GdmpError(f"unknown read operation {op!r}")  # pragma: no cover
+            yield  # pragma: no cover - generator marker
+
+        return handler
+
+    def _op_apply(self, request: AuthenticatedRequest):
+        operation = request.payload["operation"]
+        data = request.payload["data"]
+        self.apply(operation, data)
+        return True
+        yield  # pragma: no cover
+
+    def apply(self, operation: str, data: dict) -> None:
+        """Apply one propagated write to the local copy."""
+        if operation == "publish":
+            self.catalog.publish(
+                data["site"],
+                size=data["size"],
+                modified=data["modified"],
+                crc=data["crc"],
+                lfn=data["lfn"],
+                **data.get("attributes", {}),
+            )
+        elif operation == "add_replica":
+            self.catalog.add_replica(data["lfn"], data["site"])
+        elif operation == "remove_replica":
+            self.catalog.remove_replica(data["lfn"], data["site"])
+        else:
+            raise GdmpError(f"unknown catalog write {operation!r}")
+        self.applied_writes += 1
+
+
+class ReplicatedCatalogProxy(CatalogProxy):
+    """Writes to the primary, reads from the nearest replica."""
+
+    def __init__(self, client, primary_host: str, read_host: str):
+        super().__init__(client, primary_host)
+        self.read_host = read_host
+
+    def _read_call(self, operation: str, payload) -> object:
+        return self.client.call(self.read_host, operation, payload)
+
+    def locations(self, lfn):
+        """Read locations from the nearest replica."""
+        return self._read_call("catalog.locations", {"lfn": lfn})
+
+    def info(self, lfn):
+        """Read a logical file's metadata from the nearest replica."""
+        return self._read_call("catalog.info", {"lfn": lfn})
+
+    def search(self, filter_text):
+        """Filtered search against the nearest replica."""
+        return self._read_call("catalog.search", {"filter": filter_text})
+
+    def site_files(self, site):
+        """A site's holdings, read from the nearest replica."""
+        return self._read_call("catalog.site_files", {"site": site})
+
+    def lfn_exists(self, lfn):
+        """Name-in-use check against the nearest replica."""
+        return self._read_call("catalog.lfn_exists", {"lfn": lfn})
+
+    def list_lfns(self):
+        """All LFNs, read from the nearest replica."""
+        return self._read_call("catalog.list_lfns", {})
+
+
+def enable_catalog_replication(grid, replica_sites: list[str]) -> dict:
+    """Upgrade ``grid``'s central catalog to primary + replicas.
+
+    Replica copies are seeded from the primary's current contents, then
+    kept up to date by write propagation.  Every site's client is switched
+    to a :class:`ReplicatedCatalogProxy` reading from its nearest replica
+    (its own site when it hosts one, the primary otherwise).
+
+    Returns ``{site: CatalogReplica}``.
+    """
+    primary_host = grid.catalog_host
+    service: ReplicaCatalogService = grid.catalog_service
+    replicas: dict[str, CatalogReplica] = {}
+    for name in replica_sites:
+        if name == primary_host:
+            raise ValueError("the primary already holds the catalog")
+        site = grid.site(name)
+        replica = CatalogReplica(site)
+        # seed from the primary's current state
+        for lfn in service.catalog.list_lfns():
+            info = service.catalog.info(lfn)
+            locations = [loc["location"] for loc in info.locations]
+            replica.catalog.publish(
+                locations[0],
+                size=info.size,
+                modified=info.modified,
+                crc=info.crc,
+                lfn=lfn,
+                **info.attributes,
+            )
+            for extra in locations[1:]:
+                replica.catalog.add_replica(lfn, extra)
+        replicas[name] = replica
+
+    primary_site = grid.site(primary_host)
+
+    def propagate(operation: str, data: dict) -> None:
+        for name in replicas:
+            primary_site.request_client.call(
+                name, "catalog.apply", {"operation": operation, "data": data}
+            )
+
+    service.write_listeners.append(propagate)
+
+    for site in grid.sites.values():
+        read_host = site.name if site.name in replicas else primary_host
+        site.client.catalog = ReplicatedCatalogProxy(
+            site.request_client, primary_host, read_host
+        )
+    return replicas

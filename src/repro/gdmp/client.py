@@ -1,0 +1,365 @@
+"""The GDMP client API (§4.1).
+
+"GDMP client APIs provide four main services to the end-user:
+
+* subscribing to a remote site for getting informed when new files are
+  created and made public,
+* publishing new files and thus making them available and accessible to
+  the Grid,
+* obtaining a remote site's file catalog for failure recovery, and
+* transferring files from a remote location to the local site."
+
+``replicate`` implements the full §4.1 pipeline: locate (catalog) ->
+select source (cost function) -> stage at source (MSS) -> pre-process ->
+GridFTP transfer with CRC + restart recovery -> post-process (e.g.
+Objectivity attach) -> register the new replica in the catalog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.gdmp.config import GdmpConfig
+from repro.gdmp.data_mover import DataMover, DataMoverError
+from repro.gdmp.plugins import PluginRegistry
+from repro.gdmp.replica_selection import rank_replicas
+from repro.gdmp.replica_service import CatalogProxy
+from repro.gdmp.request_manager import GdmpError, RemoteError, RequestClient
+from repro.gdmp.server import GdmpServer
+from repro.gdmp.storage_manager import StorageManager
+from repro.netsim.topology import Topology
+from repro.simulation.kernel import Process, Simulator
+from repro.simulation.monitor import Monitor
+from repro.storage.filesystem import StoredFile
+
+__all__ = ["GdmpClient", "ReplicationReport"]
+
+
+@dataclass(frozen=True)
+class ReplicationReport:
+    """Accounting for one completed replication."""
+
+    lfn: str
+    source: str
+    destination: str
+    size: float
+    total_duration: float       # locate + stage + transfer + post-process
+    transfer_duration: float
+    stage_wait: float
+    attempts: int
+    crc_retries: int
+    streams: int
+    buffer: int
+    stored: StoredFile
+    failed_sources: tuple[str, ...] = ()
+
+    @property
+    def throughput(self) -> float:
+        """End-to-end goodput including all pipeline overheads."""
+        return self.size / self.total_duration if self.total_duration > 0 else 0.0
+
+
+class GdmpClient:
+    """One site's GDMP client commands."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        site: str,
+        config: GdmpConfig,
+        topology: Topology,
+        request_client: RequestClient,
+        catalog: CatalogProxy,
+        storage: StorageManager,
+        data_mover: DataMover,
+        server: GdmpServer,
+        plugins: Optional[PluginRegistry] = None,
+        site_runtime=None,
+    ):
+        self.sim = sim
+        self.site = site
+        self.config = config
+        self.topology = topology
+        self.rpc = request_client
+        self.catalog = catalog
+        self.storage = storage
+        self.mover = data_mover
+        self.server = server
+        self.plugins = plugins or PluginRegistry()
+        self.site_runtime = site_runtime  # GdmpSite, for plugin hooks
+        self.monitor = Monitor()
+        self._replicating: set[str] = set()
+        server.client = self
+
+    # -- service 1: subscribe -------------------------------------------------
+    def subscribe_to(self, producer_site: str,
+                     filter_text: Optional[str] = None) -> Process:
+        """Register this site as a consumer of ``producer_site``'s files.
+
+        ``filter_text`` is an LDAP filter over published file attributes
+        (size, filetype, and any user metadata); only matching files are
+        notified (§4.2: "Users can specify filters to obtain the exact
+        information that they require")."""
+        return self.rpc.call(
+            producer_site,
+            "subscribe",
+            {"site": self.site, "filter": filter_text},
+        )
+
+    def unsubscribe_from(self, producer_site: str) -> Process:
+        """Withdraw this site's subscription at a producer."""
+        return self.rpc.call(producer_site, "unsubscribe", {"site": self.site})
+
+    # -- service 2: publish -----------------------------------------------------
+    def publish(self, lfn: str, path: str, **attributes) -> Process:
+        """Publish an existing local file: register it (and its metadata) in
+        the replica catalog and notify all subscribers."""
+
+        def run():
+            stored = self.storage.fs.stat(path)
+            yield self.catalog.publish(
+                self.site,
+                size=stored.size,
+                modified=stored.created_at,
+                crc=stored.crc,
+                lfn=lfn,
+                **attributes,
+            )
+            self.server.record_held(lfn, path)
+            self.monitor.count("published")
+            # §4.2: "The subscribers are notified of the existence of new
+            # files." — subscription filters select who hears about this one
+            file_attrs = {
+                "lfn": lfn,
+                "size": f"{stored.size:.0f}",
+                **{k: str(v) for k, v in attributes.items()},
+            }
+            for subscriber in self.server.subscribers_for(file_attrs):
+                yield self.rpc.call(
+                    subscriber,
+                    "notify",
+                    {"producer": self.site, "lfns": [lfn],
+                     "attributes": file_attrs},
+                )
+            return lfn
+
+        return self.sim.spawn(run(), name=f"gdmp-publish {lfn}")
+
+    def produce_and_publish(
+        self, lfn: str, size: float, payload=None, **attributes
+    ) -> Process:
+        """Convenience for workloads: create the local file, then publish."""
+
+        def run():
+            path = self.config.storage_path(lfn)
+            self.storage.pool.ensure_space(size)
+            # attributes are stored on the file too, so they travel with
+            # replicas (plugins read them at the destination)
+            self.storage.fs.create(
+                path, size, now=self.sim.now, payload=payload,
+                **{k: str(v) for k, v in attributes.items()},
+            )
+            result = yield self.publish(lfn, path, **attributes)
+            return result
+
+        return self.sim.spawn(run(), name=f"gdmp-produce {lfn}")
+
+    # -- service 3: remote catalog for failure recovery ---------------------------
+    def get_remote_catalog(self, site: str) -> Process:
+        """A remote site's LFN -> path holdings (failure recovery)."""
+        return self.rpc.call(site, "get_catalog", {})
+
+    # -- service 4: replication ----------------------------------------------------
+    def replicate(
+        self,
+        lfn: str,
+        prefer_site: Optional[str] = None,
+        streams: Optional[int] = None,
+        tcp_buffer: Optional[int] = None,
+    ) -> Process:
+        """Create a local replica of ``lfn`` (the §4.1 pipeline)."""
+
+        def attempt_from(source, info, local_path):
+            """One full attempt against one source.  Returns
+            (move_report, stage_wait, transfer_duration)."""
+            stage_started = self.sim.now
+            staged = yield self.rpc.call(source, "request_stage", {"lfn": lfn})
+            stage_wait = self.sim.now - stage_started
+            reservation = None
+            try:
+                # pre-processing (file-type specific)
+                plugin = self.plugins.for_info(info)
+                yield self.sim.spawn(
+                    plugin.pre_process(self.site_runtime, info),
+                    name="gdmp-pre-process",
+                )
+                # allocate local space, then move the bytes (§4.4: the
+                # transfer starts only if the space can be allocated)
+                reservation = self.storage.prepare_incoming(local_path, info.size)
+                transfer_started = self.sim.now
+                report = yield self.mover.fetch(
+                    src_host=source,
+                    remote_path=staged["path"],
+                    local_path=local_path,
+                    expected_crc=info.crc,
+                    streams=streams or self.config.parallel_streams,
+                    tcp_buffer=tcp_buffer or self.config.tcp_buffer,
+                )
+                transfer_duration = self.sim.now - transfer_started
+                # post-processing (e.g. attach to the local federation)
+                yield self.sim.spawn(
+                    plugin.post_process(self.site_runtime, report.stored),
+                    name="gdmp-post-process",
+                )
+            except BaseException:
+                if reservation is not None:
+                    reservation.release()
+                raise
+            finally:
+                yield self.rpc.call(source, "release", {"lfn": lfn})
+            self.storage.commit_incoming(report.stored, reservation)
+            return report, stage_wait, transfer_duration
+
+        def run():
+            started = self.sim.now
+            if lfn in self._replicating:
+                raise GdmpError(
+                    f"{self.site} is already replicating {lfn!r}"
+                )
+            self._replicating.add(lfn)
+            try:
+                result = yield from replicate_body(started)
+            finally:
+                self._replicating.discard(lfn)
+            return result
+
+        def replicate_body(started):
+            info = yield self.catalog.info(lfn)
+            local_path = self.config.storage_path(lfn)
+            if self.storage.fs.exists(local_path):
+                raise GdmpError(f"{self.site} already holds {lfn!r}")
+
+            # source ranking: preferred producer first if it has a replica,
+            # then the cost-function order; failed sources are skipped
+            # (§4.3's pluggable error recovery: alternate-replica failover)
+            locations = list(info.locations)
+            try:
+                candidates = [
+                    score.site
+                    for score in rank_replicas(
+                        self.topology, locations, self.site, info.size
+                    )
+                ]
+            except ValueError as exc:
+                raise GdmpError(str(exc)) from exc
+            if prefer_site is not None and prefer_site in candidates:
+                candidates.remove(prefer_site)
+                candidates.insert(0, prefer_site)
+
+            failed: list[str] = []
+            last_error: Optional[Exception] = None
+            for source in candidates:
+                try:
+                    report, stage_wait, transfer_duration = yield self.sim.spawn(
+                        attempt_from(source, info, local_path),
+                        name=f"gdmp-attempt {lfn}@{source}",
+                    )
+                    break
+                except (DataMoverError, RemoteError) as exc:
+                    failed.append(source)
+                    last_error = exc
+                    self.monitor.count("source_failovers")
+            else:
+                raise GdmpError(
+                    f"all {len(candidates)} replica sources failed for "
+                    f"{lfn!r}: {last_error}"
+                ) from last_error
+            # make the replica visible to the grid
+            yield self.catalog.add_replica(lfn, self.site)
+            self.server.record_held(lfn, local_path)
+            self.monitor.count("replicated")
+            self.monitor.count("bytes_replicated", info.size)
+            return ReplicationReport(
+                lfn=lfn,
+                source=source,
+                destination=self.site,
+                size=info.size,
+                total_duration=self.sim.now - started,
+                transfer_duration=transfer_duration,
+                stage_wait=stage_wait,
+                attempts=report.attempts,
+                crc_retries=report.crc_retries,
+                streams=report.streams,
+                buffer=report.buffer,
+                stored=report.stored,
+                failed_sources=tuple(failed),
+            )
+
+        return self.sim.spawn(run(), name=f"gdmp-replicate {lfn}")
+
+    def replicate_consistent(self, lfn: str, policy, **kwargs) -> Process:
+        """Replicate ``lfn`` under a consistency policy (§2.2): the policy
+        expands the request to the set of associated files that must travel
+        together; already-held members are skipped.  Returns the list of
+        :class:`ReplicationReport` (dependencies first)."""
+
+        def run():
+            reports = []
+            for member in policy.replication_set(lfn):
+                if member in self.server.held:
+                    continue
+                report = yield self.replicate(member, **kwargs)
+                reports.append(report)
+            return reports
+
+        return self.sim.spawn(run(), name=f"gdmp-replicate-consistent {lfn}")
+
+    def delete_replica(self, lfn: str) -> Process:
+        """Reliably delete this site's replica of ``lfn`` (§3.1's replica
+        management triad: creation, deletion, management).
+
+        Catalog-first ordering: the replica is deregistered before the
+        bytes are freed, so no window exists in which the catalog
+        advertises a replica that is already gone.  Pinned files (serving
+        an in-flight transfer) are refused.
+        """
+
+        def run():
+            path = self.server.path_of(lfn)
+            if self.storage.pool.pin_count(path) > 0:
+                raise GdmpError(
+                    f"{lfn!r} is pinned (serving a transfer); retry later"
+                )
+            detached = False
+            stored = self.storage.fs.stat(path)
+            yield self.catalog.remove_replica(lfn, self.site)
+            if self.site_runtime is not None and hasattr(
+                stored.payload, "iter_objects"
+            ):
+                federation = self.site_runtime.federation
+                if federation.is_attached(stored.payload.name):
+                    federation.detach(stored.payload.name)
+                    detached = True
+            self.storage.fs.delete(path)
+            del self.server.held[lfn]
+            self.monitor.count("replicas_deleted")
+            return {"lfn": lfn, "freed_bytes": stored.size,
+                    "detached": detached}
+
+        return self.sim.spawn(run(), name=f"gdmp-delete {lfn}")
+
+    def replicate_missing_from(self, producer: str) -> Process:
+        """Failure recovery: diff the producer's catalog against local
+        holdings and fetch everything missing (§4.1's recovery use case)."""
+
+        def run():
+            remote = yield self.get_remote_catalog(producer)
+            missing = [lfn for lfn in remote if lfn not in self.server.held]
+            reports = []
+            for lfn in sorted(missing):
+                report = yield self.replicate(lfn, prefer_site=producer)
+                reports.append(report)
+            return reports
+
+        return self.sim.spawn(run(), name=f"gdmp-recover-from {producer}")

@@ -1,0 +1,42 @@
+"""Per-site GDMP configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netsim.units import GB, KiB, mbps
+
+__all__ = ["GdmpConfig"]
+
+
+@dataclass
+class GdmpConfig:
+    """Knobs of one site's GDMP installation.
+
+    Transfer defaults mirror the tuning conclusions of §6: sites that have
+    run the measurement workflow set ``tcp_buffer`` to the
+    bandwidth-delay product and a small stream count; untuned sites ride on
+    the 64 KiB system default with more streams.
+    """
+
+    site: str
+    storage_prefix: str = "/storage"
+    disk_capacity: float = 500 * GB
+    disk_read_rate: float = mbps(400)
+    disk_write_rate: float = mbps(400)
+    # transfer defaults (the GridFTP negotiation GDMP performs)
+    tcp_buffer: int = 64 * KiB
+    parallel_streams: int = 4
+    max_transfer_retries: int = 3
+    # mass storage
+    has_mss: bool = False
+    tape_drives: int = 2
+    tape_mount_seek: float = 45.0
+    tape_rate: float = 15e6
+    # behaviour
+    auto_replicate: bool = False  # fetch files as soon as a notify arrives
+    attrs: dict = field(default_factory=dict)
+
+    def storage_path(self, lfn: str) -> str:
+        """The site-local path an LFN is stored under."""
+        return f"{self.storage_prefix}/{lfn}"

@@ -1,0 +1,119 @@
+"""Consistency policies for associated files (§2.2).
+
+"the replication mechanism cannot a priori treat every file as independent
+and self-contained, as tight navigational relations or synchronous
+updating constraints might couple the objects in several files ...  the
+two files have to be treated as associated files and replicated together
+in order to preserve the navigation. ...  The model for file replication
+is therefore that 'consistency policies', which flow from the application
+layer, will steer the replication layer."
+
+:class:`FileAssociationGraph` captures which files an application's
+navigation couples (derivable automatically from a federation's cross-file
+associations); :class:`AssociatedFilesPolicy` turns a replication request
+for one file into the request for its dependency closure.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Protocol
+
+from repro.objectdb.federation import Federation
+
+__all__ = [
+    "FileAssociationGraph",
+    "ConsistencyPolicy",
+    "IndependentFilesPolicy",
+    "AssociatedFilesPolicy",
+]
+
+
+class FileAssociationGraph:
+    """Directed "requires" edges between logical files.
+
+    An edge ``a -> b`` means objects in ``a`` navigate to objects in ``b``,
+    so replicating ``a`` without ``b`` leaves dangling associations at the
+    destination (the §2.1 failure mode)."""
+
+    def __init__(self) -> None:
+        self._requires: dict[str, set[str]] = {}
+
+    def add_association(self, from_lfn: str, to_lfn: str) -> None:
+        """Record that from_lfn's objects navigate into to_lfn."""
+        if from_lfn == to_lfn:
+            return
+        self._requires.setdefault(from_lfn, set()).add(to_lfn)
+
+    def requires(self, lfn: str) -> set[str]:
+        """Direct dependencies of one file."""
+        return set(self._requires.get(lfn, ()))
+
+    def closure(self, lfn: str) -> list[str]:
+        """``lfn`` plus everything it transitively requires, dependencies
+        first (cycles allowed: members of a cycle are mutually required)."""
+        visited: list[str] = []
+        seen: set[str] = set()
+
+        def visit(name: str) -> None:
+            if name in seen:
+                return
+            seen.add(name)
+            for dep in sorted(self._requires.get(name, ())):
+                visit(dep)
+            visited.append(name)
+
+        visit(lfn)
+        return visited
+
+    @classmethod
+    def from_federation(
+        cls,
+        federation: Federation,
+        lfn_of: Optional[Callable[[str], str]] = None,
+    ) -> "FileAssociationGraph":
+        """Derive the graph from a federation's cross-file associations.
+
+        ``lfn_of`` maps a database file *name* to its published LFN
+        (identity by default — GDMP publishes database files under their
+        own names)."""
+        lfn_of = lfn_of or (lambda name: name)
+        graph = cls()
+        name_by_id = {
+            federation.database(name).db_id: name
+            for name in federation.database_names
+        }
+        for obj in federation.iter_objects():
+            source_file = name_by_id[obj.oid.database]
+            for target in obj.all_targets():
+                target_file = name_by_id.get(target.database)
+                if target_file is not None and target_file != source_file:
+                    graph.add_association(lfn_of(source_file), lfn_of(target_file))
+        return graph
+
+
+class ConsistencyPolicy(Protocol):
+    """Application-layer policy steering the replication layer."""
+
+    def replication_set(self, lfn: str) -> list[str]:
+        """Files that must be replicated (dependencies first) when the
+        application asks for ``lfn``."""
+        ...
+
+
+class IndependentFilesPolicy:
+    """Every file is self-contained (flat files, schema-free data)."""
+
+    def replication_set(self, lfn: str) -> list[str]:
+        """Just the requested file."""
+        return [lfn]
+
+
+class AssociatedFilesPolicy:
+    """Replicate a file together with its association closure."""
+
+    def __init__(self, graph: FileAssociationGraph):
+        self.graph = graph
+
+    def replication_set(self, lfn: str) -> list[str]:
+        """The file plus its association closure, dependencies first."""
+        return self.graph.closure(lfn)

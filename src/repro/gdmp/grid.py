@@ -1,0 +1,230 @@
+"""Grid assembly: sites, security fabric, services, wiring.
+
+:class:`DataGrid` builds the Figure 3 picture — N sites, each running a
+GDMP server with its client commands, a GridFTP daemon, a disk pool
+(optionally backed by an MSS), and an Objectivity federation — over one
+simulated WAN (full mesh of identical links with the §6 testbed's
+characteristics) with a single central replica catalog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.catalog.gdmp_catalog import GdmpCatalog
+from repro.gdmp.client import GdmpClient
+from repro.gdmp.config import GdmpConfig
+from repro.gdmp.data_mover import DataMover
+from repro.gdmp.plugins import PluginRegistry
+from repro.gdmp.replica_service import CatalogProxy, ReplicaCatalogService
+from repro.gdmp.request_manager import RequestClient, RequestServer
+from repro.gdmp.server import GdmpServer
+from repro.gdmp.storage_manager import StorageManager
+from repro.gridftp.client import GridFTPClient
+from repro.gridftp.server import GridFTPServer
+from repro.netsim.calibration import TestbedParams
+from repro.netsim.channels import MessageNetwork
+from repro.netsim.engine import NetworkEngine
+from repro.netsim.link import Link
+from repro.netsim.topology import Host, Topology
+from repro.netsim.units import mbps
+from repro.objectdb.federation import Federation
+from repro.security.ca import CertificateAuthority
+from repro.security.credentials import new_user_credential
+from repro.security.gridmap import GridMap
+from repro.simulation.kernel import Simulator
+from repro.storage.diskpool import DiskPool
+from repro.storage.filesystem import FileSystem
+from repro.storage.hrm import HierarchicalResourceManager
+from repro.storage.mss import MassStorageSystem
+
+__all__ = ["GdmpSite", "DataGrid"]
+
+
+@dataclass
+class GdmpSite:
+    """Everything GDMP runs at one site."""
+
+    name: str
+    sim: Simulator
+    config: GdmpConfig
+    host: Host
+    fs: FileSystem
+    pool: DiskPool
+    mss: Optional[MassStorageSystem]
+    hrm: HierarchicalResourceManager
+    federation: Federation
+    credential: object
+    gridftp_server: GridFTPServer
+    gridftp_client: GridFTPClient
+    request_server: RequestServer
+    request_client: RequestClient
+    storage: StorageManager
+    mover: DataMover
+    server: GdmpServer
+    client: GdmpClient = field(default=None)
+
+    # Convenience pass-throughs used by plugins and workloads.
+    def storage_path(self, lfn: str) -> str:
+        """The site-local path an LFN is stored under."""
+        return self.config.storage_path(lfn)
+
+
+class DataGrid:
+    """A complete simulated data grid."""
+
+    def __init__(
+        self,
+        site_configs: Optional[list[GdmpConfig]] = None,
+        catalog_host: Optional[str] = None,
+        params: Optional[TestbedParams] = None,
+        seed: int = 2001,
+    ):
+        if site_configs is None:
+            site_configs = [GdmpConfig("cern"), GdmpConfig("anl")]
+        if len(site_configs) < 2:
+            raise ValueError("a data grid needs at least two sites")
+        names = [c.site for c in site_configs]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate site names")
+        self.params = params or TestbedParams(seed=seed)
+        self.catalog_host = catalog_host or names[0]
+        if self.catalog_host not in names:
+            raise ValueError(f"catalog host {self.catalog_host!r} is not a site")
+
+        self.sim = Simulator()
+        self.topology = Topology()
+        self.engine_seed = seed
+        self.ca = CertificateAuthority()
+        self.gridmap = GridMap()
+        self.sites: dict[str, GdmpSite] = {}
+
+        # full mesh of identical WAN links (the §6 testbed characteristics)
+        for name in names:
+            self.topology.add_host(Host(name))
+        for i, a in enumerate(names):
+            for b in names[i + 1 :]:
+                self.topology.connect(
+                    a,
+                    b,
+                    Link(
+                        name=f"wan-{a}-{b}",
+                        capacity=mbps(self.params.capacity_mbps),
+                        delay=self.params.rtt / 2.0,
+                        queue_capacity=self.params.queue_capacity,
+                        cross_traffic=mbps(self.params.cross_traffic_mbps),
+                        loss_rate=self.params.loss_rate,
+                    ),
+                )
+        self.engine = NetworkEngine(self.sim, self.topology, seed=seed)
+        self.msgnet = MessageNetwork(self.sim, self.topology)
+
+        for config in site_configs:
+            self._build_site(config)
+        # the central catalog lives at catalog_host's request server
+        self.catalog_backend = GdmpCatalog()
+        self.catalog_service = ReplicaCatalogService(
+            self.sites[self.catalog_host].request_server, self.catalog_backend
+        )
+        for site in self.sites.values():
+            self._finish_site(site)
+
+    # -- construction ------------------------------------------------------------
+    def _build_site(self, config: GdmpConfig) -> None:
+        name = config.site
+        host = self.topology.host(name)
+        credential = new_user_credential(
+            self.ca, f"/O=Grid/OU={name}/CN=gdmp/host={name}"
+        )
+        self.gridmap.add(credential.subject, f"gdmp-{name}")
+        fs = FileSystem(
+            name,
+            capacity=config.disk_capacity,
+            read_rate=config.disk_read_rate,
+            write_rate=config.disk_write_rate,
+        )
+        pool = DiskPool(fs)
+        mss = None
+        if config.has_mss:
+            mss = MassStorageSystem(
+                self.sim,
+                name,
+                drives=config.tape_drives,
+                mount_seek_time=config.tape_mount_seek,
+                tape_rate=config.tape_rate,
+            )
+        hrm = HierarchicalResourceManager(self.sim, pool, mss)
+        federation = Federation(f"fed-{name}", site=name)
+        gridftp_server = GridFTPServer(
+            self.sim,
+            self.msgnet,
+            self.engine,
+            host,
+            fs,
+            credential,
+            [self.ca],
+            self.gridmap,
+        )
+        gridftp_client = GridFTPClient(
+            self.sim, self.msgnet, host, credential, filesystem=fs
+        )
+        request_server = RequestServer(
+            self.sim, self.msgnet, host, credential, [self.ca], self.gridmap
+        )
+        request_client = RequestClient(self.sim, self.msgnet, host, credential)
+        storage = StorageManager(self.sim, hrm)
+        mover = DataMover(
+            self.sim,
+            gridftp_client,
+            fs,
+            max_restart_attempts=config.max_transfer_retries,
+        )
+        server = GdmpServer(self.sim, name, request_server, storage)
+        self.sites[name] = GdmpSite(
+            name=name,
+            sim=self.sim,
+            config=config,
+            host=host,
+            fs=fs,
+            pool=pool,
+            mss=mss,
+            hrm=hrm,
+            federation=federation,
+            credential=credential,
+            gridftp_server=gridftp_server,
+            gridftp_client=gridftp_client,
+            request_server=request_server,
+            request_client=request_client,
+            storage=storage,
+            mover=mover,
+            server=server,
+        )
+
+    def _finish_site(self, site: GdmpSite) -> None:
+        catalog_proxy = CatalogProxy(site.request_client, self.catalog_host)
+        site.client = GdmpClient(
+            self.sim,
+            site.name,
+            site.config,
+            self.topology,
+            site.request_client,
+            catalog_proxy,
+            site.storage,
+            site.mover,
+            site.server,
+            plugins=PluginRegistry(),
+            site_runtime=site,
+        )
+
+    # -- access --------------------------------------------------------------------
+    def site(self, name: str) -> GdmpSite:
+        """Look up a site by name."""
+        try:
+            return self.sites[name]
+        except KeyError:
+            raise KeyError(f"no site {name!r} in this grid") from None
+
+    def run(self, until=None):
+        """Advance the grid's simulator (see Simulator.run)."""
+        return self.sim.run(until=until)

@@ -1,0 +1,81 @@
+"""Replica selection by cost function.
+
+§4.2: "This information can then be used as a basis for replica selection
+based on cost functions, which is part of planned future work.  (See
+[VTF01] for some early ideas.)"  We implement that future work: candidate
+replicas are scored by estimated transfer time — measured RTT (ping) plus
+size over measured available bandwidth (pipechar) — and the cheapest
+source wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netsim.tools import ping, pipechar
+from repro.netsim.topology import RouteError, Topology
+
+__all__ = ["ReplicaScore", "choose_replica", "estimate_transfer_time"]
+
+#: Control-channel overhead charged per transfer (connect + auth + commands).
+SETUP_ROUND_TRIPS = 5
+
+
+@dataclass(frozen=True)
+class ReplicaScore:
+    """One candidate source and its estimated cost."""
+
+    site: str
+    rtt: float
+    available_bandwidth: float
+    estimated_time: float
+
+
+def estimate_transfer_time(
+    topology: Topology, src: str, dst: str, size: float
+) -> ReplicaScore:
+    """Predicted wall-clock time to move ``size`` bytes from ``src``."""
+    rtt = ping(topology, dst, src).rtt
+    bandwidth = pipechar(topology, dst, src).available_bandwidth
+    estimated = SETUP_ROUND_TRIPS * rtt + size / bandwidth
+    return ReplicaScore(
+        site=src,
+        rtt=rtt,
+        available_bandwidth=bandwidth,
+        estimated_time=estimated,
+    )
+
+
+def rank_replicas(
+    topology: Topology,
+    locations: list[dict],
+    dst_site: str,
+    size: float,
+) -> list[ReplicaScore]:
+    """All usable sources among catalog ``locations``, cheapest first.
+
+    Raises :class:`ValueError` if no candidate is usable (no replicas, or
+    only the destination itself holds the file).
+    """
+    scores = []
+    for location in locations:
+        site = location["location"]
+        if site == dst_site:
+            continue
+        try:
+            scores.append(estimate_transfer_time(topology, site, dst_site, size))
+        except (RouteError, KeyError):
+            continue  # unreachable replica: not a candidate
+    if not scores:
+        raise ValueError(f"no usable replica source for destination {dst_site!r}")
+    return sorted(scores, key=lambda s: s.estimated_time)
+
+
+def choose_replica(
+    topology: Topology,
+    locations: list[dict],
+    dst_site: str,
+    size: float,
+) -> ReplicaScore:
+    """The cheapest reachable source (head of :func:`rank_replicas`)."""
+    return rank_replicas(topology, locations, dst_site, size)[0]

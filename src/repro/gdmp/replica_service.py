@@ -1,0 +1,197 @@
+"""The Replica Catalog Service: a central catalog accessed over the WAN.
+
+§4.2: "The current Globus Replica Catalog implementation uses the LDAP
+protocol to interface with the database backend.  We do not currently
+distribute or replicate the replica catalog but instead, for simplicity,
+use a central replica catalog and a single LDAP server."
+
+:class:`ReplicaCatalogService` hosts the catalog (the LDAP server site);
+:class:`CatalogProxy` is what every site's GDMP uses — identical API,
+each call paying one authenticated round trip to the catalog host.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.catalog.gdmp_catalog import GdmpCatalog, LogicalFileInfo
+from repro.catalog.replica_catalog import CatalogError
+from repro.gdmp.request_manager import (
+    AuthenticatedRequest,
+    GdmpError,
+    RequestClient,
+    RequestServer,
+)
+from repro.simulation.kernel import Process
+
+__all__ = ["ReplicaCatalogService", "CatalogProxy"]
+
+SERVICE_NAME = "replica-catalog"
+
+
+class ReplicaCatalogService:
+    """Hosts the central :class:`GdmpCatalog` behind the request manager."""
+
+    def __init__(self, server: RequestServer, catalog: Optional[GdmpCatalog] = None):
+        self.catalog = catalog or GdmpCatalog()
+        self.server = server
+        #: called with (operation, payload) after each successful write —
+        #: the hook :mod:`repro.gdmp.catalog_replication` propagates from.
+        self.write_listeners: list = []
+        for op in (
+            "publish",
+            "add_replica",
+            "remove_replica",
+            "locations",
+            "info",
+            "search",
+            "site_files",
+            "lfn_exists",
+            "list_lfns",
+        ):
+            server.register(f"catalog.{op}", getattr(self, f"_op_{op}"))
+
+    # Handlers are generators (the request manager spawns them); catalog
+    # operations themselves are in-memory and immediate.
+    def _notify_write(self, operation: str, payload) -> None:
+        for listener in self.write_listeners:
+            listener(operation, payload)
+
+    def _op_publish(self, request: AuthenticatedRequest):
+        p = request.payload
+        try:
+            lfn = self.catalog.publish(
+                p["site"],
+                size=p["size"],
+                modified=p["modified"],
+                crc=p["crc"],
+                lfn=p.get("lfn"),
+                **p.get("attributes", {}),
+            )
+        except CatalogError as exc:
+            raise GdmpError(str(exc)) from exc
+        self._notify_write("publish", {**p, "lfn": lfn})
+        return lfn
+        yield  # pragma: no cover - marks this function as a generator
+
+    def _op_add_replica(self, request: AuthenticatedRequest):
+        try:
+            self.catalog.add_replica(request.payload["lfn"], request.payload["site"])
+        except CatalogError as exc:
+            raise GdmpError(str(exc)) from exc
+        self._notify_write("add_replica", dict(request.payload))
+        return True
+        yield  # pragma: no cover
+
+    def _op_remove_replica(self, request: AuthenticatedRequest):
+        try:
+            self.catalog.remove_replica(
+                request.payload["lfn"], request.payload["site"]
+            )
+        except CatalogError as exc:
+            raise GdmpError(str(exc)) from exc
+        self._notify_write("remove_replica", dict(request.payload))
+        return True
+        yield  # pragma: no cover
+
+    def _op_locations(self, request: AuthenticatedRequest):
+        return self.catalog.locations(request.payload["lfn"])
+        yield  # pragma: no cover
+
+    def _op_info(self, request: AuthenticatedRequest):
+        try:
+            return self.catalog.info(request.payload["lfn"])
+        except CatalogError as exc:
+            raise GdmpError(str(exc)) from exc
+        yield  # pragma: no cover
+
+    def _op_search(self, request: AuthenticatedRequest):
+        try:
+            return self.catalog.search(request.payload["filter"])
+        except CatalogError as exc:
+            raise GdmpError(str(exc)) from exc
+        yield  # pragma: no cover
+
+    def _op_site_files(self, request: AuthenticatedRequest):
+        return self.catalog.site_files(request.payload["site"])
+        yield  # pragma: no cover
+
+    def _op_lfn_exists(self, request: AuthenticatedRequest):
+        return self.catalog.lfn_exists(request.payload["lfn"])
+        yield  # pragma: no cover
+
+    def _op_list_lfns(self, request: AuthenticatedRequest):
+        return self.catalog.list_lfns()
+        yield  # pragma: no cover
+
+
+class CatalogProxy:
+    """Site-side view of the central catalog.  Every method returns a
+    :class:`Process` (network round trip to the catalog host)."""
+
+    def __init__(self, client: RequestClient, catalog_host: str):
+        self.client = client
+        self.catalog_host = catalog_host
+
+    def publish(
+        self,
+        site: str,
+        size: float,
+        modified: float,
+        crc: int,
+        lfn: Optional[str] = None,
+        **attributes,
+    ) -> Process:
+        """Register a new logical file and its first replica (one WAN call)."""
+        return self.client.call(
+            self.catalog_host,
+            "catalog.publish",
+            {
+                "site": site,
+                "size": size,
+                "modified": modified,
+                "crc": crc,
+                "lfn": lfn,
+                "attributes": attributes,
+            },
+        )
+
+    def add_replica(self, lfn: str, site: str) -> Process:
+        """Record an additional replica of a logical file."""
+        return self.client.call(
+            self.catalog_host, "catalog.add_replica", {"lfn": lfn, "site": site}
+        )
+
+    def remove_replica(self, lfn: str, site: str) -> Process:
+        """Remove a replica record (retiring the LFN when it was the last)."""
+        return self.client.call(
+            self.catalog_host, "catalog.remove_replica", {"lfn": lfn, "site": site}
+        )
+
+    def locations(self, lfn: str) -> Process:
+        """All physical locations of a logical file."""
+        return self.client.call(self.catalog_host, "catalog.locations", {"lfn": lfn})
+
+    def info(self, lfn: str) -> Process:
+        """Metadata and locations of a logical file."""
+        return self.client.call(self.catalog_host, "catalog.info", {"lfn": lfn})
+
+    def search(self, filter_text: str) -> Process:
+        """Logical files matching an LDAP filter over their metadata."""
+        return self.client.call(
+            self.catalog_host, "catalog.search", {"filter": filter_text}
+        )
+
+    def site_files(self, site: str) -> Process:
+        """All LFNs a site holds (failure-recovery catalog diff)."""
+        return self.client.call(
+            self.catalog_host, "catalog.site_files", {"site": site}
+        )
+
+    def lfn_exists(self, lfn: str) -> Process:
+        """Whether the logical file name is taken."""
+        return self.client.call(self.catalog_host, "catalog.lfn_exists", {"lfn": lfn})
+
+    def list_lfns(self) -> Process:
+        """Every logical file name in the catalog."""
+        return self.client.call(self.catalog_host, "catalog.list_lfns", {})

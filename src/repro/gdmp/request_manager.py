@@ -1,0 +1,246 @@
+"""The Request Manager: GDMP's authenticated RPC layer.
+
+§4.1: "Client requests are sent to the GDMP server through the Request
+Manager.  The Request Manager is the client-server communication module ...
+Using the Globus IO and Globus Data Conversion libraries, the Request
+Manager provides a limited Remote Procedure Call functionality."  And:
+"Every client request to a GDMP server is authenticated and authorized by a
+security service."
+
+Every request carries the caller's proxy certificate chain; the server
+verifies the chain against its trusted CAs and maps the identity through
+the gridmap before dispatching to the registered handler.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Optional
+
+from repro.netsim.channels import MessageNetwork
+from repro.netsim.topology import Host
+from repro.security.ca import CertificateAuthority, CertificateError, verify_chain
+from repro.security.credentials import Credential
+from repro.security.gridmap import AuthorizationError, GridMap
+from repro.simulation.kernel import Process, Simulator
+from repro.simulation.monitor import Monitor
+from repro.simulation.resources import Store
+
+__all__ = [
+    "GdmpError",
+    "RemoteError",
+    "AuthenticatedRequest",
+    "RequestServer",
+    "RequestClient",
+]
+
+REQUEST_MESSAGE_SIZE = 512
+
+_client_counter = itertools.count(1)
+
+
+class GdmpError(Exception):
+    """GDMP operation failure."""
+
+
+class RequestTimeout(GdmpError):
+    """No reply from the remote GDMP server within the deadline."""
+
+
+class RemoteError(GdmpError):
+    """An error raised by a remote handler, re-raised at the caller."""
+
+    def __init__(self, operation: str, server: str, message: str):
+        super().__init__(f"{operation}@{server}: {message}")
+        self.operation = operation
+        self.server = server
+        self.remote_message = message
+
+
+@dataclass(frozen=True)
+class AuthenticatedRequest:
+    """What a handler receives after the security layer has done its job."""
+
+    operation: str
+    payload: Any
+    caller_host: str
+    subject: str      # the presented (proxy) subject
+    identity: str     # the authenticated end-entity DN
+    account: str      # gridmap-mapped local account
+
+
+Handler = Callable[[AuthenticatedRequest], Generator]
+
+
+class RequestServer:
+    """Server half: a dispatch table behind the security layer."""
+
+    SERVICE = "gdmp"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        msgnet: MessageNetwork,
+        host: Host,
+        credential: Credential,
+        trusted_cas: list[CertificateAuthority],
+        gridmap: GridMap,
+        service: str = SERVICE,
+    ):
+        self.sim = sim
+        self.msgnet = msgnet
+        self.host = host
+        self.credential = credential
+        self.trusted_cas = trusted_cas
+        self.gridmap = gridmap
+        self.service = service
+        self.monitor = Monitor()
+        self._handlers: dict[str, Handler] = {}
+        self._mailbox = msgnet.register(host, service)
+        sim.spawn(self._serve(), name=f"gdmp-request-manager@{host.name}")
+
+    def register(self, operation: str, handler: Handler) -> None:
+        """Bind a handler generator to an operation name."""
+        if operation in self._handlers:
+            raise ValueError(f"handler for {operation!r} already registered")
+        self._handlers[operation] = handler
+
+    def _serve(self):
+        while True:
+            envelope = yield self._mailbox.get()
+            self.sim.spawn(
+                self._handle(envelope), name=f"gdmp-handler@{self.host.name}"
+            )
+
+    def _respond(self, envelope, request_id, ok: bool, payload: Any):
+        reply_service = envelope.payload["reply_service"]
+        return self.msgnet.send(
+            self.host,
+            envelope.src,
+            reply_service,
+            payload={"request_id": request_id, "ok": ok, "payload": payload},
+            size=REQUEST_MESSAGE_SIZE,
+        )
+
+    def _handle(self, envelope):
+        body = envelope.payload
+        request_id = body["request_id"]
+        operation = body["operation"]
+        self.monitor.count(f"op_{operation}")
+        # security layer: authenticate + authorize before any dispatch
+        try:
+            chain = body["chain"]
+            identity = verify_chain(chain, self.trusted_cas, self.sim.now)
+            account = self.gridmap.authorize(identity)
+        except (CertificateError, AuthorizationError, KeyError) as exc:
+            self.monitor.count("auth_failures")
+            yield self._respond(envelope, request_id, False, f"security: {exc}")
+            return
+        handler = self._handlers.get(operation)
+        if handler is None:
+            yield self._respond(
+                envelope, request_id, False, f"unknown operation {operation!r}"
+            )
+            return
+        request = AuthenticatedRequest(
+            operation=operation,
+            payload=body["payload"],
+            caller_host=envelope.src,
+            subject=chain[0].subject,
+            identity=identity,
+            account=account,
+        )
+        try:
+            result = yield self.sim.spawn(
+                handler(request), name=f"gdmp-op-{operation}"
+            )
+        except GdmpError as exc:
+            yield self._respond(envelope, request_id, False, str(exc))
+            return
+        except Exception as exc:  # handler bug or substrate error: surface it
+            self.monitor.count("handler_errors")
+            yield self._respond(envelope, request_id, False, f"{type(exc).__name__}: {exc}")
+            return
+        yield self._respond(envelope, request_id, True, result)
+
+
+class RequestClient:
+    """Client half: issue authenticated calls to remote GDMP servers."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        msgnet: MessageNetwork,
+        host: Host,
+        credential: Credential,
+        service: str = RequestServer.SERVICE,
+    ):
+        self.sim = sim
+        self.msgnet = msgnet
+        self.host = host
+        self.credential = credential
+        self.service = service
+        self.reply_service = f"gdmp-reply-{next(_client_counter)}"
+        self._mailbox = msgnet.register(host, self.reply_service)
+        self._request_ids = itertools.count(1)
+        self._pending: dict[int, Store] = {}
+        self.monitor = Monitor()
+        sim.spawn(self._dispatch(), name=f"gdmp-client-dispatch@{host.name}")
+
+    def _dispatch(self):
+        while True:
+            envelope = yield self._mailbox.get()
+            body = envelope.payload
+            store = self._pending.get(body["request_id"])
+            if store is not None:
+                store.put(body)
+
+    def call(self, server_host: str, operation: str, payload: Any = None,
+             size: int = REQUEST_MESSAGE_SIZE,
+             timeout: Optional[float] = None) -> Process:
+        """Invoke ``operation`` on the GDMP server at ``server_host``.
+
+        With ``timeout`` set, a missing reply (crashed server, dropped
+        message) raises :class:`RequestTimeout` after that many seconds;
+        without it the call waits indefinitely (in-order FIFO delivery
+        means no reply can be merely late)."""
+
+        _timed_out = object()
+
+        def run():
+            request_id = next(self._request_ids)
+            store = Store(self.sim)
+            self._pending[request_id] = store
+            self.monitor.count("calls")
+            self.msgnet.send(
+                self.host,
+                server_host,
+                self.service,
+                payload={
+                    "request_id": request_id,
+                    "operation": operation,
+                    "payload": payload,
+                    "chain": self.credential.chain,
+                    "reply_service": self.reply_service,
+                },
+                size=size,
+            )
+            if timeout is None:
+                body = yield store.get()
+            else:
+                body = yield self.sim.any_of(
+                    [store.get(), self.sim.timeout(timeout, value=_timed_out)]
+                )
+            del self._pending[request_id]
+            if body is _timed_out:
+                self.monitor.count("call_timeouts")
+                raise RequestTimeout(
+                    f"{operation}@{server_host}: no reply within {timeout}s"
+                )
+            if not body["ok"]:
+                self.monitor.count("call_failures")
+                raise RemoteError(operation, server_host, body["payload"])
+            return body["payload"]
+
+        return self.sim.spawn(run(), name=f"gdmp-call {operation}@{server_host}")

@@ -1,0 +1,148 @@
+"""The GDMP server: one per site (Figure 3).
+
+Registers the site's request-manager operations:
+
+* ``subscribe`` / ``unsubscribe`` — the producer-consumer model's
+  subscription registry;
+* ``notify`` — a producer announcing newly published files; if the site is
+  configured for automatic replication the files are fetched immediately;
+* ``get_catalog`` — "obtaining a remote site's file catalog for failure
+  recovery" (§4.1);
+* ``request_stage`` — ask the site to stage a file from its MSS to its disk
+  pool and pin it for an upcoming transfer (§4.4);
+* ``release`` — drop the transfer pin afterwards.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.catalog.ldapsim import Entry, FilterSyntaxError, parse_filter
+from repro.gdmp.request_manager import (
+    AuthenticatedRequest,
+    GdmpError,
+    RequestServer,
+)
+from repro.gdmp.storage_manager import StorageManager
+from repro.simulation.kernel import Simulator
+from repro.simulation.monitor import Monitor
+
+__all__ = ["GdmpServer"]
+
+
+class GdmpServer:
+    """Site-local GDMP daemon logic behind the request manager."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        site: str,
+        request_server: RequestServer,
+        storage: StorageManager,
+    ):
+        self.sim = sim
+        self.site = site
+        self.request_server = request_server
+        self.storage = storage
+        self.monitor = Monitor()
+        #: subscriber site -> LDAP filter text (None = everything); filters
+        #: are evaluated against a published file's attributes, so a
+        #: regional center can subscribe to, e.g.,
+        #: ``(&(filetype=objectivity)(run=2001*))`` only.
+        self.subscribers: dict[str, Optional[str]] = {}
+        #: LFN -> local path for every file this site holds/published.
+        self.held: dict[str, str] = {}
+        #: notifications received and not yet replicated (when manual)
+        self.pending_news: list[dict] = []
+        #: set by GdmpSite after the client exists (auto-replication)
+        self.client = None
+
+        request_server.register("subscribe", self._op_subscribe)
+        request_server.register("unsubscribe", self._op_unsubscribe)
+        request_server.register("notify", self._op_notify)
+        request_server.register("get_catalog", self._op_get_catalog)
+        request_server.register("request_stage", self._op_request_stage)
+        request_server.register("release", self._op_release)
+
+    # -- bookkeeping used by the client ---------------------------------------
+    def record_held(self, lfn: str, path: str) -> None:
+        """Record that this site holds an LFN at a local path."""
+        self.held[lfn] = path
+
+    def path_of(self, lfn: str) -> str:
+        """Local path of a held LFN; raises GdmpError when not held."""
+        try:
+            return self.held[lfn]
+        except KeyError:
+            raise GdmpError(f"{self.site} does not hold {lfn!r}") from None
+
+    # -- handlers -----------------------------------------------------------------
+    def _op_subscribe(self, request: AuthenticatedRequest):
+        subscriber = request.payload["site"]
+        filter_text = request.payload.get("filter")
+        if filter_text is not None:
+            try:
+                parse_filter(filter_text)  # validate before accepting
+            except FilterSyntaxError as exc:
+                raise GdmpError(f"bad subscription filter: {exc}") from exc
+        self.subscribers[subscriber] = filter_text
+        self.monitor.count("subscriptions")
+        return sorted(self.subscribers)
+        yield  # pragma: no cover - generator marker
+
+    def _op_unsubscribe(self, request: AuthenticatedRequest):
+        self.subscribers.pop(request.payload["site"], None)
+        return sorted(self.subscribers)
+        yield  # pragma: no cover
+
+    def subscribers_for(self, attributes: dict) -> list[str]:
+        """Subscribers whose filter matches a file with ``attributes``."""
+        entry = Entry(
+            dn="x=notify",
+            attributes={k: [str(v)] for k, v in attributes.items()},
+        )
+        matching = []
+        for site, filter_text in sorted(self.subscribers.items()):
+            if filter_text is None or parse_filter(filter_text)(entry):
+                matching.append(site)
+        return matching
+
+    def _op_notify(self, request: AuthenticatedRequest):
+        """A producer announces new files.  With ``auto_replicate`` the
+        consumer pulls each file at once (the production CMS deployment
+        behaviour); otherwise the news is queued for a later explicit get."""
+        news = {
+            "producer": request.payload["producer"],
+            "lfns": list(request.payload["lfns"]),
+            "attributes": dict(request.payload.get("attributes", {})),
+            "received_at": self.sim.now,
+        }
+        self.monitor.count("notifications")
+        client = self.client
+        if client is not None and client.config.auto_replicate:
+            for lfn in news["lfns"]:
+                client.replicate(lfn, prefer_site=news["producer"])
+        else:
+            self.pending_news.append(news)
+        return True
+        yield  # pragma: no cover
+
+    def _op_get_catalog(self, request: AuthenticatedRequest):
+        return dict(self.held)
+        yield  # pragma: no cover
+
+    def _op_request_stage(self, request: AuthenticatedRequest):
+        """Ensure an LFN is on this site's disk pool (staging from tape if
+        needed) and pin it; the reply carries the local path and size so the
+        caller can start the GridFTP get."""
+        lfn = request.payload["lfn"]
+        path = self.path_of(lfn)
+        stored = yield self.storage.ensure_on_disk(path, pin=True)
+        self.monitor.count("stage_served")
+        return {"path": path, "size": stored.size, "crc": stored.crc}
+
+    def _op_release(self, request: AuthenticatedRequest):
+        path = self.path_of(request.payload["lfn"])
+        self.storage.release(path)
+        return True
+        yield  # pragma: no cover

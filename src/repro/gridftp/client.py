@@ -1,0 +1,388 @@
+"""The GridFTP client library (``globus_ftp_client`` equivalent).
+
+All operations are simulation coroutines: each public method returns a
+:class:`~repro.simulation.kernel.Process`, so calling code (itself a
+process) writes::
+
+    session = yield client.connect("cern")
+    result = yield client.get(session, "/store/f1", "/pool/f1")
+
+A session owns a private reply mailbox; the control-channel conversation —
+AUTH/ADAT handshake, SBUF/OPTS negotiation, RETR with streamed 111/112
+markers — happens over the simulated message network, so control-channel
+latency (the per-transfer setup cost visible in Figure 5's 1 MB curve) is
+charged faithfully.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.gridftp.markers import PerfMarker, RangeSet, RestartMarker
+from repro.gridftp.protocol import CONTROL_MESSAGE_SIZE, Command, Reply
+from repro.gridftp.server import GridFTPServer, TransferDescriptor
+from repro.netsim.channels import Mailbox, MessageNetwork
+from repro.netsim.topology import Host
+from repro.netsim.units import KiB
+from repro.security.credentials import Credential
+from repro.simulation.kernel import Process, Simulator
+from repro.simulation.resources import Store
+from repro.storage.filesystem import FileSystem, StoredFile
+
+__all__ = ["TransferError", "TransferResult", "ClientSession", "GridFTPClient"]
+
+_client_ids = itertools.count(1)
+
+
+class TransferError(Exception):
+    """A control- or data-channel failure, with the last reply attached."""
+
+    def __init__(self, message: str, reply: Optional[Reply] = None):
+        super().__init__(message)
+        self.reply = reply
+
+    @property
+    def restart_marker(self) -> Optional[RestartMarker]:
+        if self.reply and isinstance(self.reply.payload, dict):
+            return self.reply.payload.get("restart_marker")
+        return None
+
+
+@dataclass(frozen=True)
+class TransferResult:
+    """Outcome of a completed get/put."""
+
+    path: str
+    size: float
+    duration: float
+    streams: int
+    buffer: int
+    stored: Optional[StoredFile] = None
+    perf_markers: tuple[PerfMarker, ...] = ()
+    restart_markers: tuple[RestartMarker, ...] = ()
+
+    @property
+    def throughput(self) -> float:
+        return self.size / self.duration if self.duration > 0 else float("inf")
+
+
+@dataclass
+class ClientSession:
+    """An authenticated control-channel session with one server."""
+
+    server_host: str
+    session_id: str
+    account: str
+    server_subject: str
+    buffer: int = 64 * KiB
+    parallelism: int = 1
+    closed: bool = False
+
+
+class GridFTPClient:
+    """Per-site client endpoint."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        msgnet: MessageNetwork,
+        host: Host,
+        credential: Credential,
+        filesystem: Optional[FileSystem] = None,
+    ):
+        self.sim = sim
+        self.msgnet = msgnet
+        self.host = host
+        self.credential = credential
+        self.fs = filesystem
+        self.service = f"gridftp-client-{next(_client_ids)}"
+        self._mailbox: Mailbox = msgnet.register(host, self.service)
+        self._request_ids = itertools.count(1)
+        self._pending: dict[int, Store] = {}
+        sim.spawn(self._dispatch(), name=f"gridftp-client-dispatch@{host.name}")
+
+    # -- control-channel plumbing --------------------------------------------
+    def _dispatch(self):
+        """Route incoming replies to the store of the request they answer.
+        Replies for requests nobody is waiting on (late markers) are dropped,
+        as a real client drops data for a closed control channel."""
+        while True:
+            envelope = yield self._mailbox.get()
+            request_id, reply = envelope.payload
+            store = self._pending.get(request_id)
+            if store is not None:
+                store.put(reply)
+
+    def _send(self, server_host: str, command: Command) -> int:
+        request_id = next(self._request_ids)
+        self.msgnet.send(
+            self.host,
+            server_host,
+            GridFTPServer.SERVICE,
+            payload=(request_id, command),
+            size=CONTROL_MESSAGE_SIZE,
+        )
+        self._pending[request_id] = Store(self.sim)
+        return request_id
+
+    def _await_final(self, request_id: int):
+        """Wait for the final (non-1xx) reply to ``request_id``; preliminary
+        replies (150 opening, perf/restart markers) are collected."""
+        store = self._pending[request_id]
+        markers: list[Reply] = []
+        while True:
+            reply = yield store.get()
+            if reply.is_preliminary:
+                markers.append(reply)
+                continue
+            del self._pending[request_id]
+            return reply, markers
+
+    def _rpc(self, server_host: str, command: Command):
+        request_id = self._send(server_host, command)
+        final, markers = yield from self._await_final(request_id)
+        return final, markers
+
+    def _command(self, session: ClientSession, verb: str, argument: str = "",
+                 **extras):
+        command = Command(
+            verb=verb,
+            argument=argument,
+            session=session.session_id,
+            extras={"reply_service": self.service, **extras},
+        )
+        final, markers = yield from self._rpc(session.server_host, command)
+        return final, markers
+
+    # -- session management -------------------------------------------------------
+    def connect(self, server_host: str) -> Process:
+        """AUTH/ADAT handshake; returns a :class:`ClientSession`."""
+
+        def run():
+            auth = Command("AUTH", "GSSAPI",
+                           extras={"reply_service": self.service})
+            reply, _ = yield from self._rpc(server_host, auth)
+            if reply.code != 334:
+                raise TransferError(f"AUTH rejected: {reply}", reply)
+            session_id = reply.payload
+            adat = Command(
+                "ADAT",
+                session=session_id,
+                extras={
+                    "reply_service": self.service,
+                    "chain": self.credential.chain,
+                },
+            )
+            reply, _ = yield from self._rpc(server_host, adat)
+            if reply.code != 235:
+                raise TransferError(f"authentication failed: {reply}", reply)
+            return ClientSession(
+                server_host=server_host,
+                session_id=reply.payload["session"],
+                account=reply.payload["account"],
+                server_subject=reply.payload["server_subject"],
+            )
+
+        return self.sim.spawn(run(), name=f"gridftp-connect->{server_host}")
+
+    def quit(self, session: ClientSession) -> Process:
+        """Close a session (QUIT)."""
+        def run():
+            yield from self._command(session, "QUIT")
+            session.closed = True
+
+        return self.sim.spawn(run(), name="gridftp-quit")
+
+    # -- negotiation ---------------------------------------------------------------
+    def set_buffer(self, session: ClientSession, size: int) -> Process:
+        """SBUF: the TCP buffer tuning knob of Figures 5 vs 6."""
+
+        def run():
+            reply, _ = yield from self._command(session, "SBUF", str(int(size)))
+            if not reply.is_success:
+                raise TransferError(f"SBUF failed: {reply}", reply)
+            session.buffer = int(size)
+
+        return self.sim.spawn(run(), name="gridftp-sbuf")
+
+    def set_parallelism(self, session: ClientSession, streams: int) -> Process:
+        """OPTS RETR Parallelism=n: number of parallel data streams."""
+        def run():
+            reply, _ = yield from self._command(
+                session, "OPTS", f"RETR Parallelism={streams};"
+            )
+            if not reply.is_success:
+                raise TransferError(f"OPTS failed: {reply}", reply)
+            session.parallelism = streams
+
+        return self.sim.spawn(run(), name="gridftp-opts")
+
+    def features(self, session: ClientSession) -> Process:
+        """FEAT: the server's extension list."""
+        def run():
+            reply, _ = yield from self._command(session, "FEAT")
+            return reply.payload
+
+        return self.sim.spawn(run(), name="gridftp-feat")
+
+    # -- metadata -------------------------------------------------------------------
+    def size(self, session: ClientSession, path: str) -> Process:
+        """SIZE: remote file size in bytes."""
+        return self._simple_query(session, "SIZE", path)
+
+    def modification_time(self, session: ClientSession, path: str) -> Process:
+        """MDTM: remote file modification time."""
+        return self._simple_query(session, "MDTM", path)
+
+    def checksum(self, session: ClientSession, path: str) -> Process:
+        """CKSM: remote CRC32 (GDMP's end-to-end corruption check)."""
+        return self._simple_query(session, "CKSM", path)
+
+    def _simple_query(self, session: ClientSession, verb: str, path: str) -> Process:
+        def run():
+            reply, _ = yield from self._command(session, verb, path)
+            if not reply.is_success:
+                raise TransferError(f"{verb} {path} failed: {reply}", reply)
+            return reply.payload
+
+        return self.sim.spawn(run(), name=f"gridftp-{verb.lower()}")
+
+    # -- transfers ---------------------------------------------------------------------
+    def get(
+        self,
+        session: ClientSession,
+        remote_path: str,
+        local_path: str,
+        restart: Optional[RangeSet] = None,
+        offset: float = 0.0,
+        length: Optional[float] = None,
+    ) -> Process:
+        """RETR/ERET a file into the local filesystem.
+
+        ``restart`` resumes an interrupted transfer (ranges already on
+        disk); ``offset``/``length`` select a partial transfer.
+        """
+        if self.fs is None:
+            raise TransferError("client has no local filesystem to write into")
+
+        def run():
+            started = self.sim.now
+            if restart is not None and len(restart):
+                reply, _ = yield from self._command(
+                    session, "REST", restart.to_rest_argument()
+                )
+                if reply.code != 350:
+                    raise TransferError(f"REST rejected: {reply}", reply)
+            verb, extras = "RETR", {"write_rate": self.fs.write_rate}
+            if offset or length is not None:
+                verb = "ERET"
+                extras.update({"offset": offset, "length": length})
+            reply, markers = yield from self._command(
+                session, verb, remote_path, **extras
+            )
+            if reply.is_error:
+                raise TransferError(f"{verb} {remote_path} failed: {reply}", reply)
+            info = reply.payload
+            descriptor: TransferDescriptor = info["descriptor"]
+            stored = self.fs.create(
+                local_path,
+                descriptor.size,
+                content_id=descriptor.content_id,
+                now=self.sim.now,
+                payload=descriptor.payload,
+                **descriptor.attrs,
+            )
+            return TransferResult(
+                path=local_path,
+                size=descriptor.size,
+                duration=self.sim.now - started,
+                streams=session.parallelism,
+                buffer=session.buffer,
+                stored=stored,
+                perf_markers=tuple(
+                    r.payload for r in markers if r.code == 112
+                ),
+                restart_markers=tuple(
+                    r.payload for r in markers if r.code == 111
+                ),
+            )
+
+        return self.sim.spawn(run(), name=f"gridftp-get {remote_path}")
+
+    def put(
+        self,
+        session: ClientSession,
+        local_path: str,
+        remote_path: str,
+    ) -> Process:
+        """STOR a local file to the server."""
+        if self.fs is None:
+            raise TransferError("client has no local filesystem to read from")
+
+        def run():
+            started = self.sim.now
+            stored = self.fs.stat(local_path)
+            descriptor = TransferDescriptor(
+                path=local_path,
+                size=stored.size,
+                content_id=stored.content_id,
+                crc=stored.crc,
+                payload=stored.payload,
+                attrs=dict(stored.attrs),
+            )
+            reply, _ = yield from self._command(
+                session,
+                "STOR",
+                remote_path,
+                descriptor=descriptor,
+                read_rate=self.fs.read_rate,
+            )
+            if reply.is_error:
+                raise TransferError(f"STOR {remote_path} failed: {reply}", reply)
+            return TransferResult(
+                path=remote_path,
+                size=stored.size,
+                duration=self.sim.now - started,
+                streams=session.parallelism,
+                buffer=session.buffer,
+            )
+
+        return self.sim.spawn(run(), name=f"gridftp-put {local_path}")
+
+    def third_party_transfer(
+        self,
+        src_session: ClientSession,
+        dst_session: ClientSession,
+        src_path: str,
+        dst_path: str,
+    ) -> Process:
+        """Third-party control: data flows source server -> destination
+        server while this client only drives the two control channels."""
+
+        def run():
+            started = self.sim.now
+            reply, _ = yield from self._command(
+                src_session,
+                "RETR",
+                src_path,
+                dest_host=dst_session.server_host,
+            )
+            if reply.is_error:
+                raise TransferError(f"third-party RETR failed: {reply}", reply)
+            descriptor: TransferDescriptor = reply.payload["descriptor"]
+            deposit, _ = yield from self._command(
+                dst_session, "ESTO", dst_path, descriptor=descriptor
+            )
+            if deposit.is_error:
+                raise TransferError(f"third-party ESTO failed: {deposit}", deposit)
+            return TransferResult(
+                path=dst_path,
+                size=descriptor.size,
+                duration=self.sim.now - started,
+                streams=src_session.parallelism,
+                buffer=src_session.buffer,
+            )
+
+        return self.sim.spawn(run(), name="gridftp-3rd-party")

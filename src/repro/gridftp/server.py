@@ -1,0 +1,532 @@
+"""The GridFTP server daemon (the wuftpd-derived server of §3.2).
+
+One server runs per site.  The control channel is a mailbox on the site's
+message network; each client session is GSI-authenticated and
+gridmap-authorized before any file command is accepted.  Data transfers run
+as parallel TCP flows on the shared :class:`~repro.netsim.engine.NetworkEngine`,
+with restart/performance markers streamed back as preliminary replies.
+
+A :class:`FailureInjector` can abort a transfer after N delivered bytes or
+corrupt the next transfer of a path — the failure modes GDMP's data mover
+must recover from (§4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.gridftp import protocol
+from repro.gridftp.markers import PerfMarker, RangeSet, RestartMarker
+from repro.gridftp.protocol import CONTROL_MESSAGE_SIZE, Command, Reply
+from repro.netsim.channels import Envelope, MessageNetwork
+from repro.netsim.engine import NetworkEngine, TransferAborted
+from repro.netsim.tcp import TcpParams
+from repro.netsim.topology import Host
+from repro.netsim.units import KiB
+from repro.security.ca import CertificateAuthority, CertificateError, verify_chain
+from repro.security.credentials import Credential
+from repro.security.gridmap import AuthorizationError, GridMap
+from repro.simulation.kernel import Simulator
+from repro.simulation.monitor import Monitor
+from repro.storage.filesystem import FileSystem, StorageError
+
+__all__ = ["GridFTPServer", "FailureInjector", "TransferDescriptor"]
+
+#: How often the server emits performance markers during a transfer.
+PERF_MARKER_INTERVAL = 5.0
+
+
+@dataclass(frozen=True)
+class TransferDescriptor:
+    """What the data channel delivers (content identity, not raw bytes)."""
+
+    path: str
+    size: float
+    content_id: str
+    crc: int
+    payload: object = None
+    attrs: dict = field(default_factory=dict)
+
+
+@dataclass
+class _Session:
+    session_id: str
+    client_host: str
+    reply_service: str
+    subject: str = ""
+    identity: str = ""
+    account: str = ""
+    authenticated: bool = False
+    auth_started: bool = False
+    buffer: int = 64 * KiB
+    parallelism: int = 1
+    restart: RangeSet = field(default_factory=RangeSet)
+    client_write_rate: float = float("inf")
+
+
+class FailureInjector:
+    """Deterministic failure injection for a server's transfers."""
+
+    def __init__(self) -> None:
+        self._abort_after: dict[str, float] = {}
+        self._corrupt_next: set[str] = set()
+
+    def abort_after_bytes(self, path: str, nbytes: float) -> None:
+        """One-shot: the next transfer of ``path`` dies after ``nbytes``."""
+        self._abort_after[path] = nbytes
+
+    def corrupt_next(self, path: str) -> None:
+        """One-shot: the next transfer of ``path`` arrives corrupted."""
+        self._corrupt_next.add(path)
+
+    def take_abort(self, path: str) -> Optional[float]:
+        """Consume a pending abort threshold for a path, if armed."""
+        return self._abort_after.pop(path, None)
+
+    def take_corruption(self, path: str) -> bool:
+        """Consume a pending corruption for a path, if armed."""
+        if path in self._corrupt_next:
+            self._corrupt_next.remove(path)
+            return True
+        return False
+
+
+class GridFTPServer:
+    """A site's GridFTP daemon."""
+
+    SERVICE = "gridftp"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        msgnet: MessageNetwork,
+        engine: NetworkEngine,
+        host: Host,
+        filesystem: FileSystem,
+        credential: Credential,
+        trusted_cas: list[CertificateAuthority],
+        gridmap: GridMap,
+        default_buffer: int = 64 * KiB,
+        max_parallelism: int = 16,
+        data_nodes: tuple[str, ...] = (),
+    ):
+        self.sim = sim
+        self.msgnet = msgnet
+        self.engine = engine
+        self.host = host
+        self.fs = filesystem
+        self.credential = credential
+        self.trusted_cas = trusted_cas
+        self.gridmap = gridmap
+        self.default_buffer = default_buffer
+        self.max_parallelism = max_parallelism
+        #: additional stripe hosts sharing this server's filesystem (SPAS
+        #: mode: "striped data transfer (m hosts to n hosts)"); data
+        #: channels are opened from every stripe host in parallel.
+        self.data_nodes = tuple(data_nodes)
+        self.failures = FailureInjector()
+        self.monitor = Monitor()
+        self._sessions: dict[str, _Session] = {}
+        self._session_counter = 0
+        self._mailbox = msgnet.register(host, self.SERVICE)
+        sim.spawn(self._serve(), name=f"gridftpd@{host.name}")
+
+    # -- main loop -----------------------------------------------------------
+    def _serve(self):
+        while True:
+            envelope = yield self._mailbox.get()
+            self.sim.spawn(
+                self._handle(envelope), name=f"gridftp-req@{self.host.name}"
+            )
+
+    def _reply(self, session: _Session, request_id: int, reply: Reply):
+        return self.msgnet.send(
+            self.host,
+            session.client_host,
+            session.reply_service,
+            payload=(request_id, reply),
+            size=CONTROL_MESSAGE_SIZE,
+        )
+
+    def _handle(self, envelope: Envelope):
+        request_id, command = envelope.payload
+        assert isinstance(command, Command)
+        self.monitor.count(f"cmd_{command.verb}")
+        if command.verb == "AUTH":
+            yield from self._cmd_auth(envelope, request_id, command)
+            return
+        session = self._sessions.get(command.session)
+        if session is None:
+            # No session: reply straight to the envelope's return address.
+            self.msgnet.send(
+                self.host,
+                envelope.src,
+                command.extras.get("reply_service", "gridftp-client"),
+                payload=(request_id, protocol.bad_sequence("no such session")),
+                size=CONTROL_MESSAGE_SIZE,
+            )
+            return
+        if command.verb == "ADAT":
+            yield from self._cmd_adat(session, request_id, command)
+            return
+        if not session.authenticated:
+            yield self._reply(
+                session, request_id, protocol.denied("authenticate first")
+            )
+            return
+        handler = getattr(self, f"_cmd_{command.verb.lower()}", None)
+        if handler is None:
+            yield self._reply(
+                session, request_id, Reply(502, f"{command.verb} not implemented")
+            )
+            return
+        yield from handler(session, request_id, command)
+
+    # -- authentication ----------------------------------------------------------
+    def _cmd_auth(self, envelope: Envelope, request_id: int, command: Command):
+        """AUTH GSSAPI: allocate a session, ask for ADAT (round trip 1)."""
+        self._session_counter += 1
+        session = _Session(
+            session_id=f"{self.host.name}-{self._session_counter}",
+            client_host=envelope.src,
+            reply_service=command.extras["reply_service"],
+        )
+        session.auth_started = True
+        self._sessions[session.session_id] = session
+        yield self.msgnet.send(
+            self.host,
+            session.client_host,
+            session.reply_service,
+            payload=(
+                request_id,
+                Reply(334, "ADAT must follow", payload=session.session_id),
+            ),
+            size=CONTROL_MESSAGE_SIZE,
+        )
+
+    def _cmd_adat(self, session: _Session, request_id: int, command: Command):
+        """ADAT <chain>: verify the client chain, authorize, log in (RT 2)."""
+        chain = command.extras.get("chain")
+        try:
+            if chain is None:
+                raise CertificateError("no credential presented")
+            identity = verify_chain(chain, self.trusted_cas, self.sim.now)
+            account = self.gridmap.authorize(identity)
+        except (CertificateError, AuthorizationError) as exc:
+            self.monitor.count("auth_failures")
+            del self._sessions[session.session_id]
+            yield self._reply(session, request_id, protocol.denied(str(exc)))
+            return
+        session.subject = chain[0].subject
+        session.identity = identity
+        session.account = account
+        session.authenticated = True
+        session.buffer = self.default_buffer
+        self.monitor.count("auth_successes")
+        yield self._reply(
+            session,
+            request_id,
+            Reply(
+                235,
+                f"GSSAPI authentication succeeded; user {account} logged in",
+                payload={"session": session.session_id, "account": account,
+                         "server_subject": self.credential.subject},
+            ),
+        )
+
+    # -- simple commands ------------------------------------------------------------
+    def _cmd_feat(self, session: _Session, request_id: int, command: Command):
+        yield self._reply(
+            session, request_id, Reply(211, "Extensions supported",
+                                       payload=protocol.FEATURES)
+        )
+
+    def _cmd_sbuf(self, session: _Session, request_id: int, command: Command):
+        try:
+            size = int(command.argument)
+            if size < 1460:
+                raise ValueError
+        except ValueError:
+            yield self._reply(session, request_id, Reply(501, "bad buffer size"))
+            return
+        session.buffer = size
+        yield self._reply(session, request_id, protocol.ok(f"SBUF {size}"))
+
+    def _cmd_opts(self, session: _Session, request_id: int, command: Command):
+        arg = command.argument.strip()
+        if arg.upper().startswith("RETR PARALLELISM="):
+            try:
+                n = int(arg.split("=", 1)[1].rstrip(";"))
+                if not 1 <= n <= self.max_parallelism:
+                    raise ValueError
+            except ValueError:
+                yield self._reply(session, request_id, Reply(501, "bad parallelism"))
+                return
+            session.parallelism = n
+            yield self._reply(session, request_id, protocol.ok(f"Parallelism={n}"))
+            return
+        yield self._reply(session, request_id, Reply(501, f"unknown OPTS {arg!r}"))
+
+    def _cmd_rest(self, session: _Session, request_id: int, command: Command):
+        try:
+            session.restart = RangeSet.from_rest_argument(command.argument)
+        except ValueError as exc:
+            yield self._reply(session, request_id, Reply(501, str(exc)))
+            return
+        yield self._reply(
+            session, request_id, Reply(350, "Restart marker accepted")
+        )
+
+    def _cmd_size(self, session: _Session, request_id: int, command: Command):
+        try:
+            stored = self.fs.stat(command.argument)
+        except StorageError as exc:
+            yield self._reply(session, request_id, protocol.not_found(str(exc)))
+            return
+        yield self._reply(
+            session, request_id, Reply(213, f"{stored.size:.0f}", payload=stored.size)
+        )
+
+    def _cmd_mdtm(self, session: _Session, request_id: int, command: Command):
+        try:
+            stored = self.fs.stat(command.argument)
+        except StorageError as exc:
+            yield self._reply(session, request_id, protocol.not_found(str(exc)))
+            return
+        yield self._reply(
+            session, request_id,
+            Reply(213, f"{stored.created_at:.6f}", payload=stored.created_at),
+        )
+
+    def _cmd_cksm(self, session: _Session, request_id: int, command: Command):
+        """CKSM CRC32 — the extra end-to-end check GDMP layers on TCP."""
+        try:
+            stored = self.fs.stat(command.argument)
+        except StorageError as exc:
+            yield self._reply(session, request_id, protocol.not_found(str(exc)))
+            return
+        yield self._reply(
+            session, request_id, Reply(213, f"{stored.crc}", payload=stored.crc)
+        )
+
+    def _cmd_abor(self, session: _Session, request_id: int, command: Command):
+        yield self._reply(session, request_id, Reply(226, "ABOR processed"))
+
+    def _cmd_quit(self, session: _Session, request_id: int, command: Command):
+        self._sessions.pop(session.session_id, None)
+        yield self._reply(session, request_id, Reply(221, "Goodbye"))
+
+    # -- data transfer ------------------------------------------------------------
+    def _cmd_retr(self, session: _Session, request_id: int, command: Command):
+        yield from self._send_file(
+            session, request_id, command, offset=0.0, length=None
+        )
+
+    def _cmd_eret(self, session: _Session, request_id: int, command: Command):
+        """Partial file transfer: ERET P <offset> <length> <path>."""
+        offset = float(command.extras.get("offset", 0.0))
+        length = command.extras.get("length")
+        if length is not None:
+            length = float(length)
+        yield from self._send_file(session, request_id, command, offset, length)
+
+    def _send_file(self, session, request_id, command, offset, length):
+        path = command.argument
+        try:
+            stored = self.fs.stat(path)
+        except StorageError as exc:
+            yield self._reply(session, request_id, protocol.not_found(str(exc)))
+            return
+        if offset < 0 or offset > stored.size:
+            yield self._reply(session, request_id, Reply(501, "bad offset"))
+            return
+        total = stored.size - offset if length is None else min(
+            length, stored.size - offset
+        )
+        already = session.restart.total
+        remaining = max(total - already, 0.0)
+        session.restart = RangeSet()  # REST applies to one transfer only
+
+        content_id = stored.content_id
+        if self.failures.take_corruption(path):
+            content_id = "corrupted:" + content_id
+            self.monitor.count("corrupted_transfers")
+        if offset > 0 or (length is not None and total < stored.size):
+            content_id = f"{content_id}#{offset:.0f}+{total:.0f}"
+        descriptor = TransferDescriptor(
+            path=path,
+            size=total,
+            content_id=content_id,
+            crc=stored.crc,
+            payload=stored.payload,
+            attrs=dict(stored.attrs),
+        )
+        dest = command.extras.get("dest_host", session.client_host)
+        yield self._reply(session, request_id, protocol.opening(f"RETR {path}"))
+        if remaining <= 0:
+            # restart marker already covered everything
+            yield self._reply(
+                session, request_id,
+                protocol.closing(payload={"descriptor": descriptor, "sent": 0.0}),
+            )
+            return
+        rate_cap = min(
+            self.fs.read_rate,
+            command.extras.get("write_rate", session.client_write_rate),
+        )
+        # one stripe per server data node (SPAS), each with the session's
+        # parallelism; the single-host case degenerates to a plain transfer
+        stripe_hosts = (self.host.name, *self.data_nodes)
+        pool = self.engine.new_pool(remaining)
+        for stripe_index, stripe_host in enumerate(stripe_hosts):
+            for i in range(session.parallelism):
+                self.engine.open_flow(
+                    stripe_host,
+                    dest,
+                    pool=pool,
+                    tcp=TcpParams(buffer=session.buffer),
+                    rate_cap=rate_cap,
+                    name=f"retr:{path}[{stripe_index}.{i}]",
+                )
+        abort_at = self.failures.take_abort(path)
+        if abort_at is not None:
+            self.sim.spawn(
+                self._abort_watchdog(pool, abort_at),
+                name=f"abort-watchdog:{path}",
+            )
+        yield from self._stream_markers(session, request_id, pool, already)
+        try:
+            yield pool.done
+        except TransferAborted as exc:
+            self.monitor.count("aborted_transfers")
+            marker = RestartMarker(RangeSet([(0.0, already + exc.delivered)]))
+            yield self._reply(
+                session,
+                request_id,
+                protocol.aborted(
+                    "Data connection closed",
+                    payload={"restart_marker": marker, "descriptor": descriptor},
+                ),
+            )
+            return
+        self.monitor.count("bytes_sent", remaining)
+        self.monitor.count("files_sent")
+        yield self._reply(
+            session,
+            request_id,
+            protocol.closing(
+                payload={
+                    "descriptor": descriptor,
+                    "sent": remaining,
+                    "duration": pool.completed_at - pool.started_at,
+                }
+            ),
+        )
+
+    def _abort_watchdog(self, pool, abort_at: float):
+        while not pool.done.triggered:
+            if pool.delivered >= abort_at:
+                self.engine.cancel_pool(pool, reason="injected failure")
+                return
+            yield self.sim.timeout(0.05)
+
+    def _stream_markers(self, session, request_id, pool, base_offset):
+        """Spawn the per-transfer marker emitter (111/112 preliminary replies)."""
+
+        def emitter(sim=self.sim):
+            while not pool.done.triggered:
+                yield sim.timeout(PERF_MARKER_INTERVAL)
+                if pool.done.triggered:
+                    return
+                perf = PerfMarker(
+                    timestamp=sim.now, bytes_transferred=pool.delivered
+                )
+                restart = RestartMarker(
+                    RangeSet([(0.0, base_offset + pool.delivered)])
+                )
+                self._reply(
+                    session,
+                    request_id,
+                    Reply(112, "Perf Marker", payload=perf),
+                )
+                self._reply(
+                    session,
+                    request_id,
+                    Reply(111, "Range Marker", payload=restart),
+                )
+
+        self.sim.spawn(emitter(), name="marker-emitter")
+        return iter(())  # nothing to wait for here
+
+    def _cmd_esto(self, session: _Session, request_id: int, command: Command):
+        """ESTO A <path>: materialize a descriptor whose bytes were already
+        delivered to this host by a third-party RETR (the receiving half of
+        third-party control of data transfer)."""
+        descriptor: TransferDescriptor = command.extras["descriptor"]
+        path = command.argument
+        if self.fs.exists(path):
+            yield self._reply(session, request_id, Reply(553, "file exists"))
+            return
+        try:
+            self.fs.create(
+                path,
+                descriptor.size,
+                content_id=descriptor.content_id,
+                now=self.sim.now,
+                payload=descriptor.payload,
+                **descriptor.attrs,
+            )
+        except StorageError as exc:
+            yield self._reply(session, request_id, Reply(452, str(exc)))
+            return
+        self.monitor.count("files_received")
+        yield self._reply(
+            session, request_id,
+            protocol.closing(payload={"received": descriptor.size}),
+        )
+
+    def _cmd_stor(self, session: _Session, request_id: int, command: Command):
+        """STOR: receive a file from the client (upload)."""
+        descriptor: TransferDescriptor = command.extras["descriptor"]
+        path = command.argument
+        if self.fs.exists(path):
+            yield self._reply(session, request_id, Reply(553, "file exists"))
+            return
+        if descriptor.size > self.fs.free:
+            yield self._reply(session, request_id, Reply(452, "no space"))
+            return
+        yield self._reply(session, request_id, protocol.opening(f"STOR {path}"))
+        pool = self.engine.open_transfer(
+            session.client_host,
+            self.host.name,
+            nbytes=descriptor.size,
+            streams=session.parallelism,
+            tcp=TcpParams(buffer=session.buffer),
+            rate_cap=min(self.fs.write_rate, command.extras.get("read_rate",
+                                                               float("inf"))),
+            name=f"stor:{path}",
+        )
+        try:
+            yield pool.done
+        except TransferAborted as exc:
+            yield self._reply(
+                session, request_id,
+                protocol.aborted("Data connection closed",
+                                 payload={"received": exc.delivered}),
+            )
+            return
+        self.fs.create(
+            path,
+            descriptor.size,
+            content_id=descriptor.content_id,
+            now=self.sim.now,
+            payload=descriptor.payload,
+            **descriptor.attrs,
+        )
+        self.monitor.count("bytes_received", descriptor.size)
+        self.monitor.count("files_received")
+        yield self._reply(
+            session, request_id,
+            protocol.closing(payload={"received": descriptor.size}),
+        )

@@ -1,0 +1,153 @@
+"""Message-level communication for control traffic (RPC, notifications).
+
+GDMP control messages (requests, notifications, catalog updates) are small
+compared to data transfers, so they are modeled at message granularity: a
+send is delivered after propagation delay + serialization at the
+bottleneck's available capacity + a fixed per-message processing overhead,
+without entering the fluid congestion engine.  Bulk data must use
+:class:`~repro.netsim.engine.NetworkEngine` flows instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.netsim.topology import Host, Topology
+from repro.simulation.kernel import Event, Simulator
+from repro.simulation.resources import Store
+
+__all__ = ["Envelope", "Mailbox", "MessageNetwork"]
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A delivered message."""
+
+    src: str
+    dst: str
+    service: str
+    payload: Any
+    size: int
+    sent_at: float
+    delivered_at: float
+
+
+class Mailbox:
+    """FIFO of delivered envelopes for one (host, service) endpoint."""
+
+    def __init__(self, sim: Simulator, address: tuple[str, str]):
+        self.address = address
+        self._store = Store(sim)
+
+    def get(self) -> Event:
+        """Event yielding the next :class:`Envelope` (blocks until one arrives)."""
+        return self._store.get()
+
+    def _deliver(self, envelope: Envelope) -> None:
+        self._store.put(envelope)
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+
+class MessageNetwork:
+    """Registry of service mailboxes plus the latency model between them."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        per_message_overhead: float = 0.001,
+    ):
+        self.sim = sim
+        self.topology = topology
+        self.per_message_overhead = per_message_overhead
+        self._mailboxes: dict[tuple[str, str], Mailbox] = {}
+        self._down_hosts: set[str] = set()
+        self.dropped_messages = 0
+
+    # -- failure injection ----------------------------------------------------
+    def set_host_down(self, host: Host | str, down: bool = True) -> None:
+        """Mark a host crashed: messages addressed to it are silently
+        dropped until it comes back (senders see only their own timeouts,
+        as on a real network)."""
+        name = host.name if isinstance(host, Host) else host
+        self.topology.host(name)  # validate
+        if down:
+            self._down_hosts.add(name)
+        else:
+            self._down_hosts.discard(name)
+
+    def is_host_down(self, host: Host | str) -> bool:
+        """Whether the host is currently marked crashed."""
+        name = host.name if isinstance(host, Host) else host
+        return name in self._down_hosts
+
+    def register(self, host: Host | str, service: str) -> Mailbox:
+        """Create the mailbox for a (host, service) endpoint."""
+        name = host.name if isinstance(host, Host) else host
+        self.topology.host(name)  # validate
+        address = (name, service)
+        if address in self._mailboxes:
+            raise ValueError(f"service {service!r} already registered on {name!r}")
+        mailbox = Mailbox(self.sim, address)
+        self._mailboxes[address] = mailbox
+        return mailbox
+
+    def lookup(self, host: Host | str, service: str) -> Mailbox:
+        """The mailbox of a registered (host, service) endpoint."""
+        name = host.name if isinstance(host, Host) else host
+        try:
+            return self._mailboxes[(name, service)]
+        except KeyError:
+            raise KeyError(f"no service {service!r} on host {name!r}") from None
+
+    def latency(self, src: Host | str, dst: Host | str, size: int) -> float:
+        """One-way delivery latency for a ``size``-byte message."""
+        src_name = src.name if isinstance(src, Host) else src
+        dst_name = dst.name if isinstance(dst, Host) else dst
+        if src_name == dst_name:
+            return self.per_message_overhead
+        links = self.topology.route(src_name, dst_name)
+        propagation = sum(link.delay for link in links)
+        queueing = sum(link.queueing_delay for link in links)
+        bandwidth = min(link.available_capacity for link in links)
+        return self.per_message_overhead + propagation + queueing + size / bandwidth
+
+    def send(
+        self,
+        src: Host | str,
+        dst: Host | str,
+        service: str,
+        payload: Any,
+        size: int = 512,
+    ) -> Event:
+        """Send ``payload`` to ``(dst, service)``.  The returned event fires
+        when the message has been *delivered* (placed in the mailbox)."""
+        src_name = src.name if isinstance(src, Host) else src
+        dst_name = dst.name if isinstance(dst, Host) else dst
+        mailbox = self.lookup(dst_name, service)
+        delay = self.latency(src_name, dst_name, size)
+        sent_at = self.sim.now
+        delivered = self.sim.event()
+
+        def deliver(sim=self.sim):
+            yield sim.timeout(delay)
+            if dst_name in self._down_hosts or src_name in self._down_hosts:
+                self.dropped_messages += 1
+                return  # lost: the sender's `delivered` event never fires
+            envelope = Envelope(
+                src=src_name,
+                dst=dst_name,
+                service=service,
+                payload=payload,
+                size=size,
+                sent_at=sent_at,
+                delivered_at=sim.now,
+            )
+            mailbox._deliver(envelope)
+            delivered.succeed(envelope)
+
+        self.sim.spawn(deliver(), name=f"msg {src_name}->{dst_name}/{service}")
+        return delivered

@@ -1,0 +1,352 @@
+"""The flow engine: integrates TCP streams with links and the DES kernel.
+
+The engine advances all active flows in fluid *ticks*.  Each tick:
+
+1. every flow's effective RTT is its base propagation RTT plus the current
+   queueing delay along its path;
+2. every flow offers ``window / rtt`` bytes/s, clamped by per-flow rate caps
+   (disk speed), per-host NIC rates, and the remaining bytes of its pool;
+3. every link sees the total offered rate (plus cross-traffic); when demand
+   exceeds capacity the excess builds queue, overflow becomes packet loss
+   distributed over flows in proportion to their offered share, and achieved
+   rates are scaled to the bottleneck share;
+4. random per-packet loss is drawn for each (flow, link) from the seeded RNG;
+5. on each flow's RTT boundary its TCP window reacts to the accumulated
+   loss marks (Reno: one halving per window, timeout on catastrophic loss).
+
+Parallel GridFTP streams of one transfer share a :class:`SharedBytePool`
+(matching extended-block mode, where any stream can carry any block), so a
+transfer finishes when the pool drains, without straggler artifacts.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.netsim.link import Link
+from repro.netsim.tcp import TcpParams, TcpState
+from repro.netsim.topology import Host, Topology
+from repro.simulation.kernel import Event, Simulator
+from repro.simulation.monitor import Monitor
+from repro.simulation.randomness import RandomStreams
+
+__all__ = ["SharedBytePool", "Flow", "NetworkEngine", "TransferAborted"]
+
+
+class TransferAborted(Exception):
+    """A transfer was cancelled mid-flight.
+
+    ``delivered`` records how many bytes reached the destination — the
+    restart marker GridFTP resumes from.
+    """
+
+    def __init__(self, delivered: float, reason: str = ""):
+        super().__init__(f"transfer aborted after {delivered:.0f} bytes: {reason}")
+        self.delivered = delivered
+        self.reason = reason
+
+
+class SharedBytePool:
+    """The byte supply of one logical transfer, shared by its streams."""
+
+    def __init__(self, sim: Simulator, size: float):
+        if size <= 0:
+            raise ValueError("transfer size must be positive")
+        self.size = float(size)
+        self.remaining = float(size)
+        self.delivered = 0.0
+        self.done: Event = sim.event()
+        self.started_at: Optional[float] = None
+        self.completed_at: Optional[float] = None
+
+    def draw(self, amount: float) -> float:
+        """Take up to ``amount`` bytes from the remaining supply."""
+        take = min(amount, self.remaining)
+        self.remaining -= take
+        self.delivered += take
+        return take
+
+    @property
+    def exhausted(self) -> bool:
+        return self.remaining <= 1e-9
+
+    def throughput(self) -> float:
+        """Achieved goodput in bytes/s (valid once completed)."""
+        if self.completed_at is None or self.started_at is None:
+            raise RuntimeError("transfer not complete")
+        elapsed = self.completed_at - self.started_at
+        return self.size / elapsed if elapsed > 0 else float("inf")
+
+
+class Flow:
+    """One TCP stream moving bytes from ``src`` to ``dst``."""
+
+    _counter = 0
+
+    def __init__(
+        self,
+        src: Host,
+        dst: Host,
+        path: list[Link],
+        pool: SharedBytePool,
+        tcp: TcpState,
+        rate_cap: float,
+        name: str,
+    ):
+        Flow._counter += 1
+        self.id = Flow._counter
+        self.name = name or f"flow-{self.id}"
+        self.src = src
+        self.dst = dst
+        self.path = path
+        self.pool = pool
+        self.tcp = tcp
+        self.rate_cap = rate_cap
+        self.base_rtt = 2.0 * sum(link.delay for link in path)
+        self.delivered = 0.0
+        self.loss_pending = False
+        self.timeout_pending = False
+        self.next_round_at = 0.0
+        self.monitor = Monitor()
+        # scratch fields written by the engine each tick
+        self._rtt = self.base_rtt
+        self._offered = 0.0
+        self._achieved = 0.0
+
+    @property
+    def rtt(self) -> float:
+        """Most recent effective RTT (propagation + queueing)."""
+        return self._rtt
+
+
+class NetworkEngine:
+    """Advances all active flows against a :class:`Topology`."""
+
+    #: Floor on the tick interval so LAN flows don't make ticks microscopic.
+    MIN_TICK = 0.002
+    #: Floor on effective RTT (host processing even on the loopback path).
+    MIN_RTT = 0.001
+    #: Fraction of a tick's offered bytes that must be dropped before the
+    #: loss is treated as a full-window timeout rather than a fast retransmit.
+    TIMEOUT_DROP_FRACTION = 0.5
+
+    def __init__(self, sim: Simulator, topology: Topology, seed: int = 0):
+        self.sim = sim
+        self.topology = topology
+        self.random = RandomStreams(seed)
+        self._flows: list[Flow] = []
+        self._running = False
+        self.monitor = Monitor()
+
+    # -- public API --------------------------------------------------------
+    def new_pool(self, size: float) -> SharedBytePool:
+        """A fresh byte pool for a transfer of ``size`` bytes."""
+        return SharedBytePool(self.sim, size)
+
+    def open_flow(
+        self,
+        src: Host | str,
+        dst: Host | str,
+        nbytes: Optional[float] = None,
+        pool: Optional[SharedBytePool] = None,
+        tcp: Optional[TcpParams] = None,
+        rate_cap: float = float("inf"),
+        name: str = "",
+    ) -> Flow:
+        """Start a TCP stream.  Provide either ``nbytes`` (a private pool is
+        created) or an existing ``pool`` shared with sibling streams."""
+        if (nbytes is None) == (pool is None):
+            raise ValueError("pass exactly one of nbytes / pool")
+        src_host = self.topology.host(src) if isinstance(src, str) else src
+        dst_host = self.topology.host(dst) if isinstance(dst, str) else dst
+        if src_host == dst_host:
+            raise ValueError("flow endpoints must differ (local copies are free)")
+        path = self.topology.route(src_host, dst_host)
+        if pool is None:
+            pool = self.new_pool(float(nbytes))
+        flow = Flow(
+            src=src_host,
+            dst=dst_host,
+            path=path,
+            pool=pool,
+            tcp=TcpState(tcp or TcpParams()),
+            rate_cap=rate_cap,
+            name=name,
+        )
+        if pool.started_at is None:
+            pool.started_at = self.sim.now
+        flow.next_round_at = self.sim.now + max(flow.base_rtt, self.MIN_RTT)
+        self._flows.append(flow)
+        self.monitor.count("flows_opened")
+        if not self._running:
+            self._running = True
+            self.sim.spawn(self._run(), name="network-engine")
+        return flow
+
+    def open_transfer(
+        self,
+        src: Host | str,
+        dst: Host | str,
+        nbytes: float,
+        streams: int = 1,
+        tcp: Optional[TcpParams] = None,
+        rate_cap: float = float("inf"),
+        name: str = "",
+    ) -> SharedBytePool:
+        """Open ``streams`` parallel flows draining one shared pool (the
+        network-level realization of a GridFTP parallel transfer)."""
+        if streams < 1:
+            raise ValueError("streams must be >= 1")
+        pool = self.new_pool(nbytes)
+        for i in range(streams):
+            self.open_flow(
+                src,
+                dst,
+                pool=pool,
+                tcp=tcp,
+                rate_cap=rate_cap,
+                name=f"{name or 'xfer'}[{i}]",
+            )
+        return pool
+
+    @property
+    def active_flows(self) -> tuple[Flow, ...]:
+        return tuple(self._flows)
+
+    def cancel_pool(self, pool: SharedBytePool, reason: str = "") -> None:
+        """Abort an in-flight transfer: its flows are torn down and the
+        pool's ``done`` event fails with :class:`TransferAborted` carrying
+        the bytes already delivered."""
+        if pool.done.triggered:
+            raise ValueError("transfer already finished")
+        self._flows = [f for f in self._flows if f.pool is not pool]
+        pool.completed_at = self.sim.now
+        self.monitor.count("transfers_aborted")
+        self.monitor.count("bytes_delivered_aborted", pool.delivered)
+        pool.done.fail(TransferAborted(pool.delivered, reason))
+
+    # -- engine loop ---------------------------------------------------------
+    def _run(self):
+        while self._flows:
+            dt = self._tick()
+            yield self.sim.timeout(dt)
+        self._running = False
+
+    def _tick(self) -> float:
+        sim_now = self.sim.now
+        flows = self._flows
+        rng = self.random["netsim.loss"]
+
+        # 1. effective RTTs and tick length
+        for f in flows:
+            queueing = sum(link.queueing_delay for link in f.path)
+            f._rtt = max(f.base_rtt + queueing, self.MIN_RTT)
+        dt = max(min(f._rtt for f in flows), self.MIN_TICK)
+
+        # 2. offered rates
+        active_per_pool: dict[int, int] = {}
+        for f in flows:
+            active_per_pool[id(f.pool)] = active_per_pool.get(id(f.pool), 0) + 1
+        for f in flows:
+            offered = f.tcp.window / f._rtt
+            offered = min(offered, f.rate_cap)
+            # do not offer more than the pool can still supply this tick
+            offered = min(offered, f.pool.remaining / dt if dt > 0 else offered)
+            f._offered = offered
+
+        # 2b. NIC caps: proportional scale-down at each endpoint
+        out_demand: dict[str, float] = {}
+        in_demand: dict[str, float] = {}
+        for f in flows:
+            out_demand[f.src.name] = out_demand.get(f.src.name, 0.0) + f._offered
+            in_demand[f.dst.name] = in_demand.get(f.dst.name, 0.0) + f._offered
+        for f in flows:
+            scale = 1.0
+            src_demand = out_demand[f.src.name]
+            if src_demand > f.src.nic_rate:
+                scale = min(scale, f.src.nic_rate / src_demand)
+            dst_demand = in_demand[f.dst.name]
+            if dst_demand > f.dst.nic_rate:
+                scale = min(scale, f.dst.nic_rate / dst_demand)
+            f._offered *= scale
+
+        # 3. link contention: demand, queue evolution, bottleneck share
+        link_demand: dict[int, float] = {}
+        link_flows: dict[int, list[Flow]] = {}
+        links: dict[int, Link] = {}
+        for f in flows:
+            for link in f.path:
+                key = id(link)
+                links[key] = link
+                link_demand[key] = link_demand.get(key, 0.0) + f._offered
+                link_flows.setdefault(key, []).append(f)
+
+        link_scale: dict[int, float] = {}
+        link_dropped: dict[int, float] = {}
+        for key, link in links.items():
+            demand = link_demand[key] + link.cross_traffic
+            link_scale[key] = 1.0 if demand <= link.capacity else link.capacity / demand
+            link_dropped[key] = link.advance_queue(demand, dt)
+            link.monitor.timeseries("queue").sample(sim_now, link.queue)
+
+        for f in flows:
+            scale = min((link_scale[id(link)] for link in f.path), default=1.0)
+            f._achieved = f._offered * scale
+
+        # 4. loss marks: queue overflow + random per-packet loss
+        for key, link in links.items():
+            dropped = link_dropped[key]
+            if dropped <= 0:
+                continue
+            demand = link_demand[key] + link.cross_traffic
+            drop_fraction = dropped / max(demand * dt, 1e-12)
+            for f in link_flows[key]:
+                packets = f._offered * dt / f.tcp.params.mss
+                if packets <= 0:
+                    continue
+                p_hit = 1.0 - (1.0 - min(drop_fraction, 1.0)) ** packets
+                if rng.random() < p_hit:
+                    f.loss_pending = True
+                    if drop_fraction >= self.TIMEOUT_DROP_FRACTION:
+                        f.timeout_pending = True
+        for f in flows:
+            if f._achieved <= 0:
+                continue
+            packets = f._achieved * dt / f.tcp.params.mss
+            for link in f.path:
+                if link.loss_rate > 0:
+                    p_hit = 1.0 - (1.0 - link.loss_rate) ** packets
+                    if rng.random() < p_hit:
+                        f.loss_pending = True
+
+        # 5. delivery
+        finished_pools: list[SharedBytePool] = []
+        for f in flows:
+            taken = f.pool.draw(f._achieved * dt)
+            f.delivered += taken
+            if taken:
+                f.monitor.count("bytes", taken)
+        for f in flows:
+            pool = f.pool
+            if pool.exhausted and pool.completed_at is None:
+                pool.completed_at = sim_now + dt
+                finished_pools.append(pool)
+
+        # 6. RTT-boundary window updates
+        tick_end = sim_now + dt
+        for f in flows:
+            if tick_end + 1e-12 >= f.next_round_at:
+                f.tcp.on_round(loss=f.loss_pending, timeout=f.timeout_pending)
+                f.loss_pending = False
+                f.timeout_pending = False
+                f.next_round_at = tick_end + f._rtt
+
+        # 7. retire flows of finished pools
+        if finished_pools:
+            done_ids = {id(p) for p in finished_pools}
+            self._flows = [f for f in flows if id(f.pool) not in done_ids]
+            for pool in finished_pools:
+                self.monitor.count("transfers_completed")
+                self.monitor.count("bytes_delivered", pool.size)
+                pool.done.succeed(pool)
+        return dt

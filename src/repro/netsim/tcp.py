@@ -1,0 +1,103 @@
+"""Fluid-level TCP Reno congestion control.
+
+The model advances in *rounds* of one RTT, the standard fluid approximation
+for TCP throughput analysis (cf. the Mathis sqrt-law the paper's tuning
+guide is based on).  Per round:
+
+* **slow start**: congestion window doubles until it reaches ``ssthresh``;
+* **congestion avoidance**: window grows by one MSS per round;
+* **loss** (random or queue overflow): ``ssthresh`` drops to half the
+  current window and the window deflates to ``ssthresh`` (fast recovery —
+  Reno halves rather than collapsing to one segment);
+* **timeout** (severe loss, modeled when the whole window is lost): window
+  collapses to the initial value and slow start restarts.
+
+The *effective* send window is ``min(cwnd, buffer)``: the socket-buffer
+clamp is exactly the tuning knob studied in Figures 5 and 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TcpParams", "TcpState"]
+
+
+@dataclass(frozen=True)
+class TcpParams:
+    """Static per-connection TCP parameters."""
+
+    mss: int = 1460
+    buffer: int = 64 * 1024          # socket send/receive buffer clamp
+    initial_cwnd_segments: int = 2   # RFC 2414-era initial window
+
+    def __post_init__(self) -> None:
+        if self.mss <= 0:
+            raise ValueError("mss must be positive")
+        if self.buffer < self.mss:
+            raise ValueError("buffer smaller than one MSS")
+        if self.initial_cwnd_segments < 1:
+            raise ValueError("initial cwnd must be >= 1 segment")
+
+
+class TcpState:
+    """Mutable congestion-control state for one stream."""
+
+    def __init__(self, params: TcpParams):
+        self.params = params
+        self.cwnd = float(params.initial_cwnd_segments * params.mss)
+        # Classic BSD behaviour: initial ssthresh is the receiver window,
+        # i.e. the socket buffer — slow start runs until the buffer clamp
+        # (untuned) or until the first loss (tuned, large buffer).
+        self.ssthresh = float(params.buffer)
+        self.rounds = 0
+        self.losses = 0
+        self.timeouts = 0
+
+    @property
+    def window(self) -> float:
+        """Effective send window in bytes: min(cwnd, socket buffer)."""
+        return min(self.cwnd, float(self.params.buffer))
+
+    @property
+    def in_slow_start(self) -> bool:
+        return self.cwnd < self.ssthresh
+
+    def on_round(self, loss: bool, timeout: bool = False) -> None:
+        """Advance one RTT of window evolution.
+
+        ``loss`` marks one-or-more packet drops observed this round (Reno
+        reacts once per window regardless of how many segments were hit);
+        ``timeout`` marks loss of an entire window, forcing a slow-start
+        restart.
+        """
+        mss = self.params.mss
+        self.rounds += 1
+        if timeout:
+            self.timeouts += 1
+            self.ssthresh = max(self.window / 2.0, 2.0 * mss)
+            self.cwnd = float(self.params.initial_cwnd_segments * mss)
+            return
+        if loss:
+            self.losses += 1
+            self.ssthresh = max(self.window / 2.0, 2.0 * mss)
+            self.cwnd = self.ssthresh
+            return
+        if self.in_slow_start:
+            # Exponential growth, but never overshoot past ssthresh in a
+            # single round by more than the doubling allows.
+            self.cwnd = min(self.cwnd * 2.0, max(self.ssthresh, self.cwnd + mss))
+        else:
+            self.cwnd += mss
+        # cwnd is never allowed to grow without bound past what the buffer
+        # can use: growing it further would only inflate the next halving.
+        self.cwnd = min(self.cwnd, 2.0 * float(self.params.buffer))
+
+    def expected_slow_start_rounds(self) -> int:
+        """Rounds needed to reach the buffer clamp with no loss (diagnostic)."""
+        import math
+
+        initial = self.params.initial_cwnd_segments * self.params.mss
+        if initial >= self.params.buffer:
+            return 0
+        return math.ceil(math.log2(self.params.buffer / initial))

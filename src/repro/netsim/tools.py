@@ -1,0 +1,100 @@
+"""Simulated network measurement tools: ping, pipechar, iperf.
+
+§6 of the paper: "The Round Trip Time (RTT) is measured using the Unix ping
+tool, and the speed of the bottleneck link is measured using pipechar ...
+We typically run multiple iperf tests with various numbers of streams, and
+compare the results."
+
+These are the simulation-side equivalents, returning what the real tools
+would observe against the simulated network (including current queueing
+delay, which is what ping actually sees).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netsim.engine import NetworkEngine
+from repro.netsim.tcp import TcpParams
+from repro.netsim.topology import Host, Topology
+
+__all__ = ["PingResult", "PipecharResult", "IperfResult", "ping", "pipechar", "iperf"]
+
+
+@dataclass(frozen=True)
+class PingResult:
+    """Round-trip time measurement."""
+
+    rtt: float            # seconds, including current queueing delay
+    base_rtt: float       # propagation-only component
+    hops: int
+
+
+@dataclass(frozen=True)
+class PipecharResult:
+    """Bottleneck characterization (LBNL pipechar [Jin01])."""
+
+    bottleneck_capacity: float   # bytes/s, raw line rate of the narrow link
+    available_bandwidth: float   # bytes/s, after background cross-traffic
+    bottleneck_name: str
+
+
+@dataclass(frozen=True)
+class IperfResult:
+    """Memory-to-memory throughput test result."""
+
+    streams: int
+    duration: float
+    bytes_transferred: float
+
+    @property
+    def throughput(self) -> float:
+        return self.bytes_transferred / self.duration if self.duration > 0 else 0.0
+
+
+def ping(topology: Topology, src: Host | str, dst: Host | str) -> PingResult:
+    """Measure the RTT along the current route (instantaneous — a real ping
+    would average a handful of ICMP exchanges)."""
+    links = topology.route(src, dst)
+    base = 2.0 * sum(link.delay for link in links)
+    queueing = sum(link.queueing_delay for link in links)
+    return PingResult(rtt=base + queueing, base_rtt=base, hops=len(links))
+
+
+def pipechar(topology: Topology, src: Host | str, dst: Host | str) -> PipecharResult:
+    """Characterize the bottleneck link of the route."""
+    bottleneck = topology.bottleneck(src, dst)
+    return PipecharResult(
+        bottleneck_capacity=bottleneck.capacity,
+        available_bandwidth=bottleneck.available_capacity,
+        bottleneck_name=bottleneck.name,
+    )
+
+
+def iperf(
+    engine: NetworkEngine,
+    src: Host | str,
+    dst: Host | str,
+    streams: int = 1,
+    duration: float = 20.0,
+    tcp: TcpParams | None = None,
+) -> IperfResult:
+    """Run a fixed-duration multi-stream throughput test.
+
+    Unlike a file transfer this is memory-to-memory: it opens a very large
+    shared pool, runs the simulator for ``duration`` seconds, then closes
+    the pool and reports bytes moved.  Runs synchronously on the engine's
+    simulator (don't call from inside a simulation process).
+    """
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    sim = engine.sim
+    huge = 1e15  # effectively unbounded supply for the test window
+    pool = engine.open_transfer(src, dst, nbytes=huge, streams=streams, tcp=tcp,
+                                name="iperf")
+    start = sim.now
+    sim.run(until=start + duration)
+    moved = pool.delivered
+    # Tear the test flows down so later traffic is unaffected.
+    pool.remaining = 0.0
+    return IperfResult(streams=streams, duration=duration, bytes_transferred=moved)

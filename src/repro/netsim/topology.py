@@ -1,0 +1,127 @@
+"""Grid topology: hosts (sites) connected by links, with routing.
+
+A :class:`Topology` is an undirected multigraph of named hosts; each edge
+carries a :class:`~repro.netsim.link.Link`.  Routing picks the
+minimum-propagation-delay path (networkx Dijkstra), matching the static
+routing of the paper's testbed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+import networkx as nx
+
+from repro.netsim.link import Link
+
+__all__ = ["Host", "Topology", "RouteError"]
+
+
+class RouteError(Exception):
+    """No route between the requested hosts."""
+
+
+@dataclass
+class Host:
+    """A network endpoint (a grid site's storage/server node).
+
+    ``nic_rate`` caps the host's aggregate send+receive rate (bytes/s) —
+    this models the "single box driving a very high-end network card"
+    discussion in §5.3.  ``attrs`` is free-form site metadata.
+    """
+
+    name: str
+    nic_rate: float = float("inf")
+    attrs: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.nic_rate <= 0:
+            raise ValueError(f"host {self.name}: nic_rate must be positive")
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Host) and other.name == self.name
+
+
+class Topology:
+    """Named hosts and the links between them."""
+
+    def __init__(self) -> None:
+        self._graph = nx.Graph()
+        self._hosts: dict[str, Host] = {}
+
+    # -- construction ------------------------------------------------------
+    def add_host(self, host: Host | str, **kwargs) -> Host:
+        """Add a host (by object or name); names must be unique."""
+        if isinstance(host, str):
+            host = Host(host, **kwargs)
+        if host.name in self._hosts:
+            raise ValueError(f"duplicate host {host.name!r}")
+        self._hosts[host.name] = host
+        self._graph.add_node(host.name)
+        return host
+
+    def connect(self, a: Host | str, b: Host | str, link: Link) -> Link:
+        """Join two hosts with a link."""
+        name_a = a.name if isinstance(a, Host) else a
+        name_b = b.name if isinstance(b, Host) else b
+        for name in (name_a, name_b):
+            if name not in self._hosts:
+                raise KeyError(f"unknown host {name!r}")
+        if self._graph.has_edge(name_a, name_b):
+            raise ValueError(f"hosts {name_a!r} and {name_b!r} already connected")
+        self._graph.add_edge(name_a, name_b, link=link, weight=link.delay)
+        return link
+
+    # -- lookup ------------------------------------------------------------
+    def host(self, name: str) -> Host:
+        """Look up a host by name."""
+        try:
+            return self._hosts[name]
+        except KeyError:
+            raise KeyError(f"unknown host {name!r}") from None
+
+    @property
+    def hosts(self) -> tuple[Host, ...]:
+        return tuple(self._hosts.values())
+
+    @property
+    def links(self) -> tuple[Link, ...]:
+        return tuple(data["link"] for _, _, data in self._graph.edges(data=True))
+
+    # -- routing -----------------------------------------------------------
+    def route(self, src: Host | str, dst: Host | str) -> list[Link]:
+        """Links along the minimum-delay path from ``src`` to ``dst``."""
+        name_src = src.name if isinstance(src, Host) else src
+        name_dst = dst.name if isinstance(dst, Host) else dst
+        for name in (name_src, name_dst):
+            if name not in self._hosts:
+                raise KeyError(f"unknown host {name!r}")
+        if name_src == name_dst:
+            return []
+        try:
+            nodes = nx.shortest_path(self._graph, name_src, name_dst, weight="weight")
+        except nx.NetworkXNoPath:
+            raise RouteError(f"no route from {name_src!r} to {name_dst!r}") from None
+        return [
+            self._graph.edges[u, v]["link"] for u, v in zip(nodes, nodes[1:])
+        ]
+
+    def base_rtt(self, src: Host | str, dst: Host | str) -> float:
+        """Round-trip propagation delay along the route (no queueing)."""
+        return 2.0 * sum(link.delay for link in self.route(src, dst))
+
+    def bottleneck(self, src: Host | str, dst: Host | str) -> Link:
+        """The minimum-capacity link on the route."""
+        links = self.route(src, dst)
+        if not links:
+            raise RouteError("src and dst are the same host")
+        return min(links, key=lambda l: l.capacity)
+
+    def reset(self) -> None:
+        """Drain all link queues (between experiment repetitions)."""
+        for link in self.links:
+            link.reset()

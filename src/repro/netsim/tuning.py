@@ -1,0 +1,46 @@
+"""TCP tuning formulas from §6 of the paper.
+
+    "To determine the optimal TCP buffer size, we use the following standard
+     formula: optimal TCP buffer = RTT x (speed of bottleneck link)"
+
+and the empirical stream-count guidance ("We usually find that 4-8 streams
+is optimal").
+"""
+
+from __future__ import annotations
+
+__all__ = ["optimal_buffer_size", "recommend_streams"]
+
+
+def optimal_buffer_size(rtt: float, bottleneck_rate: float) -> int:
+    """Bandwidth-delay product in bytes.
+
+    ``rtt`` in seconds (as measured by ping), ``bottleneck_rate`` in bytes/s
+    (as measured by pipechar).
+    """
+    if rtt <= 0:
+        raise ValueError("rtt must be positive")
+    if bottleneck_rate <= 0:
+        raise ValueError("bottleneck rate must be positive")
+    return int(round(rtt * bottleneck_rate))
+
+
+def recommend_streams(
+    buffer_size: int,
+    optimal_buffer: int,
+    max_streams: int = 8,
+) -> int:
+    """Number of parallel streams recommended for a given socket buffer.
+
+    With tuned buffers a small number of streams (2–3) suffices; with
+    untuned buffers the per-stream window is the constraint and roughly
+    ``optimal_buffer / buffer_size`` streams are needed to fill the pipe
+    (§6: "it is possible to get the same throughput as tuned buffers using
+    untuned TCP buffers with enough parallel streams").
+    """
+    if buffer_size <= 0 or optimal_buffer <= 0:
+        raise ValueError("sizes must be positive")
+    if buffer_size >= optimal_buffer:
+        return 3
+    needed = -(-optimal_buffer // buffer_size)  # ceil division
+    return max(2, min(int(needed), max_streams))

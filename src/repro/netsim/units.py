@@ -1,0 +1,78 @@
+"""Size and rate units.
+
+Conventions follow the paper and 2001-era networking practice:
+
+* file sizes quoted in the paper ("1 MB file", "100 MB file") are decimal
+  megabytes — use :data:`MB`;
+* socket buffer sizes ("64 KB buffers", "1 MB buffers") are binary —
+  use :data:`KiB` / :data:`MiB`;
+* link rates are quoted in megabits per second — convert with :func:`mbps`
+  (to bytes/s) and :func:`to_mbps` (back, for reporting).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "KiB",
+    "MiB",
+    "GiB",
+    "mbps",
+    "to_mbps",
+    "fmt_bytes",
+    "fmt_rate_mbps",
+    "parse_size",
+]
+
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+
+KiB = 1_024
+MiB = 1_024 ** 2
+GiB = 1_024 ** 3
+
+_SUFFIXES = {
+    "B": 1,
+    "KB": KB,
+    "MB": MB,
+    "GB": GB,
+    "KIB": KiB,
+    "MIB": MiB,
+    "GIB": GiB,
+}
+
+
+def mbps(rate: float) -> float:
+    """Megabits per second -> bytes per second."""
+    return rate * 1_000_000 / 8.0
+
+
+def to_mbps(bytes_per_second: float) -> float:
+    """Bytes per second -> megabits per second."""
+    return bytes_per_second * 8.0 / 1_000_000
+
+
+def fmt_bytes(n: float) -> str:
+    """Human-readable byte count, decimal units (paper style)."""
+    for suffix, factor in (("GB", GB), ("MB", MB), ("KB", KB)):
+        if abs(n) >= factor:
+            return f"{n / factor:.4g} {suffix}"
+    return f"{n:.0f} B"
+
+
+def fmt_rate_mbps(bytes_per_second: float) -> str:
+    """Format a bytes/s rate as Mbps text."""
+    return f"{to_mbps(bytes_per_second):.2f} Mbps"
+
+
+def parse_size(text: str) -> int:
+    """Parse ``"64KiB"`` / ``"100 MB"`` style size strings to bytes."""
+    s = text.strip().upper().replace(" ", "")
+    for suffix in sorted(_SUFFIXES, key=len, reverse=True):
+        if s.endswith(suffix):
+            number = s[: -len(suffix)]
+            return int(float(number) * _SUFFIXES[suffix])
+    return int(float(s))

@@ -1,0 +1,52 @@
+"""Objectivity-style object database substrate.
+
+§2.1 of the paper: "all data are persistent objects and can be accessed
+through an object-oriented navigation mechanism ... A single file will
+generally contain many objects."  GDMP 1.2 replicated Objectivity database
+files; the object replication work of §5 copies individual objects between
+files.  This package provides the persistency machinery both need:
+
+* OIDs and persistent objects with navigational associations
+  (:mod:`~repro.objectdb.oid`, :mod:`~repro.objectdb.objects`);
+* containers and database files (:mod:`~repro.objectdb.database`);
+* a federation with an internal file catalog and attach/detach of database
+  files (:mod:`~repro.objectdb.federation`) — attaching a replicated file is
+  GDMP's Objectivity post-processing step (§4);
+* a navigation/read layer with page-I/O accounting
+  (:mod:`~repro.objectdb.persistency`);
+* the HEP event model and the three catalogs of Figure 1
+  (:mod:`~repro.objectdb.events`).
+"""
+
+from repro.objectdb.database import Container, DatabaseFile
+from repro.objectdb.events import (
+    EventCatalog,
+    EventStoreBuilder,
+    ObjectTypeSpec,
+    STANDARD_TYPES,
+)
+from repro.objectdb.federation import Federation, FederationError, NavigationError
+from repro.objectdb.objects import ObjectError, PersistentObject
+from repro.objectdb.oid import OID
+from repro.objectdb.persistency import ObjectReader, PAGE_SIZE
+from repro.objectdb.tags import Cut, TagDatabase, TagError
+
+__all__ = [
+    "Container",
+    "Cut",
+    "DatabaseFile",
+    "EventCatalog",
+    "EventStoreBuilder",
+    "Federation",
+    "FederationError",
+    "NavigationError",
+    "OID",
+    "ObjectError",
+    "ObjectReader",
+    "ObjectTypeSpec",
+    "PAGE_SIZE",
+    "PersistentObject",
+    "STANDARD_TYPES",
+    "TagDatabase",
+    "TagError",
+]

@@ -1,0 +1,174 @@
+"""AMS-style remote object access — the baseline replication replaces.
+
+§2.1: "the (current production versions of the) object persistency layers
+in each site do not have the native ability to efficiently access objects
+on remote sites [YoMo00], as they were built under the assumption that a
+low latency exists when accessing storage."  §5.2: "The use of wide-area
+object granularity access and replication protocols is considered
+unattractive, as large wide-area overheads have been observed in existing
+implementations of such protocols."
+
+This module implements that unattractive alternative faithfully so the
+benchmarks can measure it: an Objectivity/AMS-like page server
+(:class:`AmsPageServer`) answers page requests over the grid's message
+network, and :class:`RemoteObjectReader` is a persistency layer whose
+every page miss costs a synchronous WAN round trip — fine on a LAN,
+disastrous at 125 ms RTT.
+"""
+
+from __future__ import annotations
+
+from repro.netsim.channels import MessageNetwork
+from repro.netsim.topology import Host
+from repro.objectdb.federation import Federation
+from repro.objectdb.objects import PersistentObject
+from repro.objectdb.oid import OID
+from repro.objectdb.persistency import PAGE_SIZE, ObjectReader
+from repro.simulation.kernel import Process, Simulator
+from repro.simulation.monitor import Monitor
+
+__all__ = ["AmsPageServer", "RemoteObjectReader"]
+
+#: Request message: (db, container, page) triple plus framing.
+PAGE_REQUEST_SIZE = 64
+
+
+class AmsPageServer:
+    """A site's page server: serves federation pages to remote readers."""
+
+    SERVICE = "ams"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        msgnet: MessageNetwork,
+        host: Host,
+        federation: Federation,
+        page_service_time: float = 0.001,
+    ):
+        self.sim = sim
+        self.msgnet = msgnet
+        self.host = host
+        self.federation = federation
+        self.page_service_time = page_service_time
+        self.monitor = Monitor()
+        self._mailbox = msgnet.register(host, self.SERVICE)
+        sim.spawn(self._serve(), name=f"ams@{host.name}")
+
+    def _serve(self):
+        while True:
+            envelope = yield self._mailbox.get()
+            self.sim.spawn(self._handle(envelope), name="ams-page-request")
+
+    def _handle(self, envelope):
+        request = envelope.payload
+        yield self.sim.timeout(self.page_service_time)
+        self.monitor.count("pages_served")
+        self.msgnet.send(
+            self.host,
+            envelope.src,
+            request["reply_service"],
+            payload={"request_id": request["request_id"], "ok": True},
+            size=PAGE_SIZE,  # a full page comes back
+        )
+
+
+class RemoteObjectReader:
+    """A persistency layer reading objects from a *remote* federation.
+
+    Mirrors :class:`~repro.objectdb.persistency.ObjectReader` (including
+    the page cache), but every page miss is a synchronous request/response
+    to the AMS server across the network.  All read methods are simulation
+    coroutines returning a :class:`Process`.
+    """
+
+    _ids = 0
+
+    def __init__(
+        self,
+        sim: Simulator,
+        msgnet: MessageNetwork,
+        local_host: Host,
+        server: AmsPageServer,
+    ):
+        RemoteObjectReader._ids += 1
+        self.sim = sim
+        self.msgnet = msgnet
+        self.local_host = local_host
+        self.server = server
+        self.monitor = Monitor()
+        self._cached_pages: set[tuple[int, int, int]] = set()
+        self._local_layout = ObjectReader(server.federation)
+        self.reply_service = f"ams-client-{RemoteObjectReader._ids}"
+        self._mailbox = msgnet.register(local_host, self.reply_service)
+        self._request_counter = 0
+
+    # -- page fetch ----------------------------------------------------------
+    def _fetch_page(self, page: tuple[int, int, int]):
+        self._request_counter += 1
+        request_id = self._request_counter
+        self.msgnet.send(
+            self.local_host,
+            self.server.host,
+            AmsPageServer.SERVICE,
+            payload={
+                "page": page,
+                "request_id": request_id,
+                "reply_service": self.reply_service,
+            },
+            size=PAGE_REQUEST_SIZE,
+        )
+        while True:
+            envelope = yield self._mailbox.get()
+            if envelope.payload["request_id"] == request_id:
+                break
+        self._cached_pages.add(page)
+        self.monitor.count("page_fetches")
+        self.monitor.count("bytes_fetched", PAGE_SIZE)
+
+    # -- reading -----------------------------------------------------------------
+    def read(self, oid: OID) -> Process:
+        """Fetch (the pages of) one object; returns the object."""
+
+        def run():
+            obj = self.server.federation.resolve(oid)
+            page0 = self._local_layout._start_page(oid)
+            spanned = max(1, -(-int(obj.size) // PAGE_SIZE))
+            for extra in range(spanned):
+                page = (oid.database, oid.container, page0 + extra)
+                if page not in self._cached_pages:
+                    yield from self._fetch_page(page)
+            self.monitor.count("objects_read")
+            return obj
+
+        return self.sim.spawn(run(), name=f"ams-read {oid}")
+
+    def read_many(self, oids) -> Process:
+        """Fetch a sequence of objects (pages fetched as needed)."""
+        def run():
+            objects = []
+            for oid in oids:
+                obj = yield self.read(oid)
+                objects.append(obj)
+            return objects
+
+        return self.sim.spawn(run(), name="ams-read-many")
+
+    def navigate(self, obj: PersistentObject, role: str) -> Process:
+        """Follow an association, fetching target pages remotely."""
+        def run():
+            targets = []
+            for target_oid in obj.targets(role):
+                target = yield self.read(target_oid)
+                targets.append(target)
+            return targets
+
+        return self.sim.spawn(run(), name="ams-navigate")
+
+    @property
+    def page_fetches(self) -> int:
+        return int(self.monitor.counter("page_fetches"))
+
+    def drop_cache(self) -> None:
+        """Forget all cached pages."""
+        self._cached_pages.clear()

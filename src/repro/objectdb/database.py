@@ -1,0 +1,134 @@
+"""Containers and database files.
+
+A :class:`DatabaseFile` is the unit GDMP replicates: "a single file will
+generally contain many objects" (§2.1).  Objects live in containers; the
+page layout (used by the I/O cost model) packs objects into fixed-size
+pages in insertion order within each container.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.objectdb.objects import ObjectError, PersistentObject
+from repro.objectdb.oid import OID
+
+__all__ = ["Container", "DatabaseFile", "FILE_HEADER_SIZE"]
+
+#: Fixed per-file overhead (catalog pages, schema references).
+FILE_HEADER_SIZE = 16 * 1024
+
+
+@dataclass
+class Container:
+    """An ordered collection of objects within a database file."""
+
+    container_id: int
+    name: str
+    objects: dict[int, PersistentObject] = field(default_factory=dict)
+    _next_slot: int = 0
+
+    def add(self, obj: PersistentObject) -> None:
+        """Place an object at its OID's slot; the slot must be free."""
+        if obj.oid.slot in self.objects:
+            raise ObjectError(f"slot {obj.oid.slot} occupied in {self.name!r}")
+        self.objects[obj.oid.slot] = obj
+
+    def next_slot(self) -> int:
+        """Allocate the next free slot number."""
+        slot = self._next_slot
+        self._next_slot += 1
+        return slot
+
+    def __len__(self) -> int:
+        return len(self.objects)
+
+    def __iter__(self) -> Iterator[PersistentObject]:
+        return iter(self.objects[slot] for slot in sorted(self.objects))
+
+    @property
+    def bytes(self) -> float:
+        return sum(obj.size for obj in self.objects.values())
+
+
+class DatabaseFile:
+    """One Objectivity database file: a set of containers full of objects."""
+
+    def __init__(self, db_id: int, name: str):
+        if db_id < 0:
+            raise ValueError("db_id must be non-negative")
+        self.db_id = db_id
+        self.name = name
+        self.containers: dict[int, Container] = {}
+        self._next_container = 0
+
+    def create_container(self, name: str = "") -> Container:
+        """Create a new container in this file."""
+        container_id = self._next_container
+        self._next_container += 1
+        container = Container(container_id, name or f"container-{container_id}")
+        self.containers[container_id] = container
+        return container
+
+    def container(self, container_id: int) -> Container:
+        """Look up a container by id; raises ObjectError when missing."""
+        try:
+            return self.containers[container_id]
+        except KeyError:
+            raise ObjectError(
+                f"database {self.name!r} has no container {container_id}"
+            ) from None
+
+    def new_object(
+        self,
+        container: Container,
+        type_name: str,
+        size: float,
+        logical_key: str,
+        data=None,
+    ) -> PersistentObject:
+        """Create a persistent object in the container and assign its OID."""
+        if container.container_id not in self.containers:
+            raise ObjectError("container does not belong to this database")
+        oid = OID(self.db_id, container.container_id, container.next_slot())
+        obj = PersistentObject(
+            oid=oid,
+            type_name=type_name,
+            size=size,
+            logical_key=logical_key,
+            data=data,
+        )
+        container.add(obj)
+        return obj
+
+    def get(self, oid: OID) -> PersistentObject:
+        """Dereference an OID belonging to this file."""
+        if oid.database != self.db_id:
+            raise ObjectError(f"OID {oid} does not belong to database {self.db_id}")
+        container = self.container(oid.container)
+        try:
+            return container.objects[oid.slot]
+        except KeyError:
+            raise ObjectError(f"no object at {oid}") from None
+
+    def find_by_key(self, logical_key: str) -> Optional[PersistentObject]:
+        """Linear search for an object by logical key, or None."""
+        for obj in self.iter_objects():
+            if obj.logical_key == logical_key:
+                return obj
+        return None
+
+    def iter_objects(self) -> Iterator[PersistentObject]:
+        """Iterate objects in (container, slot) order."""
+        for container_id in sorted(self.containers):
+            yield from self.containers[container_id]
+
+    @property
+    def object_count(self) -> int:
+        return sum(len(c) for c in self.containers.values())
+
+    @property
+    def size(self) -> float:
+        """On-disk size: header plus all object payloads."""
+        return FILE_HEADER_SIZE + sum(c.bytes for c in self.containers.values())

@@ -1,0 +1,79 @@
+"""Persistent objects with navigational associations.
+
+§2.2: "two objects in two separate files can have a navigational
+association between each other" — associations are OID references under a
+named role.  §2.2 also fixes the consistency model for replication: "we
+require that all objects entrusted to the object replication service are
+always read-only objects"; objects are frozen at creation time here, which
+is the versioning discipline HEP uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.objectdb.oid import OID
+
+__all__ = ["ObjectError", "PersistentObject"]
+
+
+class ObjectError(Exception):
+    """Persistent-object misuse."""
+
+
+@dataclass(slots=True)
+class PersistentObject:
+    """One stored object.
+
+    ``size`` is the on-disk footprint in bytes (declared, not materialized:
+    a 10 MB raw-data object does not allocate 10 MB of host memory).
+    ``associations`` maps role names to lists of target OIDs.
+    ``logical_key`` identifies the object across replicas — typically
+    ``"<event_number>/<type>"`` in the HEP model.
+    """
+
+    oid: OID
+    type_name: str
+    size: float
+    logical_key: str
+    data: Any = None
+    associations: dict[str, list[OID]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError("object size must be positive")
+
+    def associate(self, role: str, target: OID) -> None:
+        """Add a navigational association (only before the object is read
+        back — associations are part of the immutable creation state)."""
+        targets = self.associations.setdefault(role, [])
+        if target not in targets:
+            targets.append(target)
+
+    def targets(self, role: str) -> list[OID]:
+        """Association targets under one role."""
+        return list(self.associations.get(role, []))
+
+    def all_targets(self) -> list[OID]:
+        """Every association target across all roles."""
+        return [oid for targets in self.associations.values() for oid in targets]
+
+    def replicated_to(self, new_oid: OID,
+                      remapped: Optional[dict[OID, OID]] = None) -> "PersistentObject":
+        """A copy of this object under a new OID (the object copier's unit
+        of work).  ``remapped`` translates association targets that were
+        copied alongside; untranslated targets keep their original OIDs and
+        will only resolve if the owning database is attached."""
+        remapped = remapped or {}
+        return PersistentObject(
+            oid=new_oid,
+            type_name=self.type_name,
+            size=self.size,
+            logical_key=self.logical_key,
+            data=self.data,
+            associations={
+                role: [remapped.get(t, t) for t in targets]
+                for role, targets in self.associations.items()
+            },
+        )

@@ -1,0 +1,38 @@
+"""Object identifiers.
+
+Objectivity-style structured OIDs: ``(database, container, slot)``.  The
+database id identifies the database *file* the object lives in — which is
+exactly what makes the object-to-file mapping of Figure 1 computable — but
+note that after object replication the same logical object may exist in
+several files, so higher layers map *logical* object keys to OIDs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["OID"]
+
+
+@dataclass(frozen=True, order=True, slots=True)
+class OID:
+    """A physical object identifier within one federation."""
+
+    database: int
+    container: int
+    slot: int
+
+    def __post_init__(self) -> None:
+        if self.database < 0 or self.container < 0 or self.slot < 0:
+            raise ValueError(f"OID components must be non-negative: {self}")
+
+    def __str__(self) -> str:
+        return f"{self.database}-{self.container}-{self.slot}"
+
+    @classmethod
+    def parse(cls, text: str) -> "OID":
+        try:
+            db, container, slot = (int(part) for part in text.split("-"))
+        except ValueError:
+            raise ValueError(f"malformed OID {text!r}") from None
+        return cls(db, container, slot)

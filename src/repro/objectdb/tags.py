@@ -1,0 +1,144 @@
+"""The tag database: physics quantities driving event selection.
+
+§5.1: "One separates the interesting from the uninteresting events by
+looking at the properties of some of the stored objects for each event: in
+the first few steps one only needs to look at a small stored object for
+each event."  Those small objects are *event tags* — fixed-size records of
+summary physics quantities (jet counts, missing energy, lepton momenta).
+
+:class:`TagDatabase` holds tag attributes as NumPy columns (the only
+practical layout for scanning 10⁶+ tags) and evaluates *cuts* — conjunctive
+range predicates like ``njets >= 3 AND met > 50`` — vectorized, charging
+the page I/O of a sequential tag scan through an
+:class:`~repro.objectdb.persistency.ObjectReader` when one is supplied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["Cut", "TagDatabase", "TagError"]
+
+_OPERATORS = {
+    "<": np.less,
+    "<=": np.less_equal,
+    ">": np.greater,
+    ">=": np.greater_equal,
+    "==": np.equal,
+    "!=": np.not_equal,
+}
+
+
+class TagError(Exception):
+    """Unknown attribute or malformed cut."""
+
+
+@dataclass(frozen=True)
+class Cut:
+    """One predicate: ``attribute <op> value``."""
+
+    attribute: str
+    operator: str
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.operator not in _OPERATORS:
+            raise TagError(f"unknown operator {self.operator!r}")
+
+    @classmethod
+    def parse(cls, text: str) -> "Cut":
+        """Parse ``"njets >= 3"`` style cut strings."""
+        for op in sorted(_OPERATORS, key=len, reverse=True):
+            if op in text:
+                left, right = text.split(op, 1)
+                attribute = left.strip()
+                try:
+                    value = float(right.strip())
+                except ValueError:
+                    raise TagError(f"bad cut value in {text!r}") from None
+                if not attribute:
+                    raise TagError(f"missing attribute in {text!r}")
+                return cls(attribute, op, value)
+        raise TagError(f"no comparison operator in {text!r}")
+
+    def __str__(self) -> str:
+        return f"{self.attribute} {self.operator} {self.value:g}"
+
+
+class TagDatabase:
+    """Columnar event tags with vectorized cut evaluation."""
+
+    def __init__(self, event_numbers: Sequence[int]):
+        self.event_numbers = np.asarray(event_numbers, dtype=np.int64)
+        if len(self.event_numbers) == 0:
+            raise TagError("tag database needs at least one event")
+        self._columns: dict[str, np.ndarray] = {}
+
+    def __len__(self) -> int:
+        return len(self.event_numbers)
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        return tuple(sorted(self._columns))
+
+    # -- filling ---------------------------------------------------------------
+    def add_column(self, name: str, values) -> None:
+        """Attach one attribute column (one value per event)."""
+        values = np.asarray(values, dtype=float)
+        if values.shape != self.event_numbers.shape:
+            raise TagError(
+                f"column {name!r} has {values.shape[0] if values.ndim else 0} "
+                f"values for {len(self)} events"
+            )
+        self._columns[name] = values
+
+    @classmethod
+    def generate(
+        cls,
+        n_events: int,
+        seed: int = 0,
+        columns: Optional[dict[str, tuple[float, float]]] = None,
+    ) -> "TagDatabase":
+        """A synthetic detector run.  ``columns`` maps attribute name to a
+        (mean, sigma) of the quantity's log-normal-ish distribution; the
+        defaults are the classic trio: jet multiplicity, missing transverse
+        energy, and leading-lepton momentum."""
+        rng = np.random.Generator(np.random.PCG64(seed))
+        tags = cls(range(n_events))
+        spec = columns or {
+            "njets": (2.0, 1.5),
+            "met": (30.0, 20.0),
+            "lepton_pt": (25.0, 15.0),
+        }
+        for name, (mean, sigma) in spec.items():
+            values = np.maximum(rng.normal(mean, sigma, n_events), 0.0)
+            if name == "njets":
+                values = np.floor(values)
+            tags.add_column(name, values)
+        return tags
+
+    # -- selection ----------------------------------------------------------------
+    def column(self, name: str) -> np.ndarray:
+        """The values of one attribute; raises TagError when unknown."""
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise TagError(
+                f"no tag attribute {name!r} (have {', '.join(self.attributes)})"
+            ) from None
+
+    def select(self, cuts: Iterable[Cut | str]) -> list[int]:
+        """Event numbers passing the conjunction of ``cuts``."""
+        mask = np.ones(len(self), dtype=bool)
+        for cut in cuts:
+            if isinstance(cut, str):
+                cut = Cut.parse(cut)
+            mask &= _OPERATORS[cut.operator](self.column(cut.attribute), cut.value)
+        return [int(e) for e in self.event_numbers[mask]]
+
+    def selection_fraction(self, cuts: Iterable[Cut | str]) -> float:
+        """Fraction of events passing the cuts."""
+        return len(self.select(cuts)) / len(self)

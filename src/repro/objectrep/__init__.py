@@ -1,0 +1,51 @@
+"""Object replication (§5): copy objects, not files.
+
+§5.1's argument: late-stage physics analysis selects a *sparse* subset of
+objects (e.g. 10⁶ of 10⁹), so no existing file contains mostly-wanted
+objects and file replication ships mostly dead weight.  The architecture
+(§5.2) deliberately reuses the file machinery: an *object copier tool*
+writes the selected objects into fresh files on the source site, the files
+move with GridFTP/GDMP, and the temporaries are deleted at the source.
+
+* :mod:`~repro.objectrep.copier` — the object copier tool (with a timed
+  CPU/disk cost model);
+* :mod:`~repro.objectrep.index` — the global object-location view kept in
+  replicable index files;
+* :mod:`~repro.objectrep.selection` — sparse HEP analysis selections;
+* :mod:`~repro.objectrep.analysis` — the §5.1 file-vs-object cost model;
+* :mod:`~repro.objectrep.replicator` — the complete pipelined replication
+  cycle over GDMP sites;
+* :mod:`~repro.objectrep.overhead` — the §5.3 server resource model.
+"""
+
+from repro.objectrep.analysis import (
+    ReplicationComparison,
+    compare_replication_strategies,
+    file_replication_cost,
+    object_replication_cost,
+    probability_file_majority_selected,
+)
+from repro.objectrep.copier import CopyCostModel, ObjectCopier
+from repro.objectrep.index import GlobalObjectIndex, IndexEntry
+from repro.objectrep.overhead import ServerCostModel, ServerResources
+from repro.objectrep.replicator import ObjectReplicationReport, ObjectReplicator
+from repro.objectrep.selection import AnalysisChain, AnalysisStep, select_events
+
+__all__ = [
+    "AnalysisChain",
+    "AnalysisStep",
+    "CopyCostModel",
+    "GlobalObjectIndex",
+    "IndexEntry",
+    "ObjectCopier",
+    "ObjectReplicationReport",
+    "ObjectReplicator",
+    "ReplicationComparison",
+    "ServerCostModel",
+    "ServerResources",
+    "compare_replication_strategies",
+    "file_replication_cost",
+    "object_replication_cost",
+    "probability_file_majority_selected",
+    "select_events",
+]

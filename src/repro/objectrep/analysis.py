@@ -1,0 +1,150 @@
+"""The §5.1 quantitative analysis: file vs object replication cost.
+
+The paper's worked example: 10⁶ selected objects of 10 KB out of 10⁹
+stored — object replication moves 10 GB; file replication would need "a set
+of files with all the needed objects while this set is not larger than e.g.
+20 GB", which "can very likely not be found at all" because "the a priori
+probability that any existing file happens to contain more than 50% of the
+selected objects is extremely low".
+
+These functions compute, for a concrete event store and selection: the
+bytes each strategy ships, the per-file selected fraction distribution, and
+the analytic majority-selected probability.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.objectdb.database import FILE_HEADER_SIZE
+from repro.objectdb.events import EventCatalog
+from repro.objectdb.federation import Federation
+from repro.objectdb.oid import OID
+
+__all__ = [
+    "file_replication_cost",
+    "object_replication_cost",
+    "probability_file_majority_selected",
+    "ReplicationComparison",
+    "compare_replication_strategies",
+]
+
+
+@dataclass(frozen=True)
+class StrategyCost:
+    """Bytes shipped and what they contain."""
+
+    bytes_moved: float
+    useful_bytes: float
+    files_moved: int
+
+    @property
+    def efficiency(self) -> float:
+        """Fraction of shipped bytes the analysis actually wanted."""
+        return self.useful_bytes / self.bytes_moved if self.bytes_moved else 1.0
+
+
+def file_replication_cost(
+    federation: Federation,
+    catalog: EventCatalog,
+    selected_oids: Sequence[OID],
+) -> StrategyCost:
+    """Ship every *existing* file that holds at least one selected object."""
+    grouped = catalog.files_for(selected_oids)
+    total = 0.0
+    useful = 0.0
+    for file_name, oids in grouped.items():
+        db = federation.database(file_name)
+        total += db.size
+        useful += sum(federation.resolve(oid).size for oid in oids)
+    return StrategyCost(bytes_moved=total, useful_bytes=useful,
+                        files_moved=len(grouped))
+
+
+def object_replication_cost(
+    federation: Federation,
+    selected_oids: Sequence[OID],
+    objects_per_new_file: int = 1000,
+) -> StrategyCost:
+    """Ship freshly written files holding exactly the selected objects."""
+    useful = sum(federation.resolve(oid).size for oid in selected_oids)
+    n_files = max(1, math.ceil(len(selected_oids) / objects_per_new_file))
+    return StrategyCost(
+        bytes_moved=useful + n_files * FILE_HEADER_SIZE,
+        useful_bytes=useful,
+        files_moved=n_files,
+    )
+
+
+def probability_file_majority_selected(
+    objects_per_file: int,
+    selection_fraction: float,
+    threshold: float = 0.5,
+) -> float:
+    """P(an existing file has more than ``threshold`` of its objects
+    selected), for an unbiased random selection: the binomial survival
+    function P(X > threshold·n) with X ~ Binom(n, f)."""
+    if objects_per_file <= 0:
+        raise ValueError("objects_per_file must be positive")
+    if not 0 <= selection_fraction <= 1:
+        raise ValueError("selection_fraction must be in [0, 1]")
+    from scipy.stats import binom
+
+    cutoff = math.floor(threshold * objects_per_file)
+    return float(binom.sf(cutoff, objects_per_file, selection_fraction))
+
+
+@dataclass(frozen=True)
+class ReplicationComparison:
+    """Side-by-side result of the two strategies for one selection."""
+
+    selection_fraction: float
+    selected_objects: int
+    file_strategy: StrategyCost
+    object_strategy: StrategyCost
+    majority_probability: float
+
+    @property
+    def winner(self) -> str:
+        return (
+            "object"
+            if self.object_strategy.bytes_moved < self.file_strategy.bytes_moved
+            else "file"
+        )
+
+    @property
+    def ratio(self) -> float:
+        """file bytes / object bytes — how much object replication saves."""
+        if self.object_strategy.bytes_moved == 0:
+            return float("inf")
+        return self.file_strategy.bytes_moved / self.object_strategy.bytes_moved
+
+
+def compare_replication_strategies(
+    federation: Federation,
+    catalog: EventCatalog,
+    selected_events: Sequence[int],
+    type_name: str,
+    objects_per_new_file: int = 1000,
+) -> ReplicationComparison:
+    """Run the full §5.1 comparison for one selection."""
+    selected_oids = catalog.oids_for(selected_events, type_name)
+    n_events = len(catalog.event_numbers)
+    fraction = len(selected_events) / n_events if n_events else 0.0
+    per_file = catalog.objects_per_file(type_name)
+    typical_file_objects = (
+        round(sum(per_file.values()) / len(per_file)) if per_file else 1
+    )
+    return ReplicationComparison(
+        selection_fraction=fraction,
+        selected_objects=len(selected_oids),
+        file_strategy=file_replication_cost(federation, catalog, selected_oids),
+        object_strategy=object_replication_cost(
+            federation, selected_oids, objects_per_new_file
+        ),
+        majority_probability=probability_file_majority_selected(
+            typical_file_objects, fraction
+        ),
+    )

@@ -1,0 +1,92 @@
+"""Index files: replicating the global object view through GDMP (§5.2).
+
+"A global view of which objects exist where is maintained in a set of
+index files.  These files are themselves maintained and replicated on
+demand using file-based replication by GDMP and Globus."
+
+Each site keeps a local :class:`~repro.objectrep.index.GlobalObjectIndex`.
+:class:`IndexService` snapshots it into an ordinary grid file (payload =
+the serialized index) and publishes it; other sites replicate that file on
+demand — through the full GDMP pipeline, CRC check included — and merge it
+into their own view.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.gdmp.grid import GdmpSite
+from repro.gdmp.request_manager import GdmpError
+from repro.objectrep.index import GlobalObjectIndex
+from repro.simulation.kernel import Process
+
+__all__ = ["IndexService"]
+
+_snapshot_serials = itertools.count(1)
+
+
+class IndexService:
+    """One site's interface to the replicated index-file set."""
+
+    FILETYPE = "object-index"
+
+    def __init__(self, site: GdmpSite, index: Optional[GlobalObjectIndex] = None):
+        self.site = site
+        self.index = index if index is not None else GlobalObjectIndex()
+        self.latest_snapshot: Optional[str] = None
+
+    # -- producing snapshots ---------------------------------------------------
+    def publish_snapshot(self) -> Process:
+        """Write the current index into an index file and publish it.
+        Returns the snapshot's LFN."""
+        sim = self.site.sim
+
+        def run():
+            serial = next(_snapshot_serials)
+            lfn = f"index.{self.site.name}.{serial:06d}.idx"
+            payload = self.index.to_index_payload()
+            size = max(self.index.estimated_size, 96.0)
+            path = self.site.config.storage_path(lfn)
+            self.site.pool.ensure_space(size)
+            self.site.fs.create(path, size, now=sim.now, payload=payload)
+            yield self.site.client.publish(
+                lfn, path, filetype=self.FILETYPE, entries=str(len(payload))
+            )
+            self.latest_snapshot = lfn
+            return lfn
+
+        return sim.spawn(run(), name=f"index-snapshot@{self.site.name}")
+
+    # -- consuming snapshots -----------------------------------------------------
+    def import_snapshot(self, lfn: str) -> Process:
+        """Replicate the index file ``lfn`` (if not yet local) and merge it
+        into this site's view.  Returns the number of entries merged."""
+        sim = self.site.sim
+
+        def run():
+            if lfn not in self.site.server.held:
+                yield self.site.client.replicate(lfn)
+            stored = self.site.fs.stat(self.site.server.held[lfn])
+            payload = stored.payload
+            if not isinstance(payload, list):
+                raise GdmpError(f"{lfn!r} does not carry an index payload")
+            snapshot = GlobalObjectIndex.from_index_payload(payload)
+            self.index.merge(snapshot)
+            return len(payload)
+
+        return sim.spawn(run(), name=f"index-import@{self.site.name}")
+
+    def sync_from(self, other: "IndexService") -> Process:
+        """Publish the peer's snapshot if needed, then import it."""
+        sim = self.site.sim
+
+        def run():
+            lfn = other.latest_snapshot
+            if lfn is None:
+                lfn = yield other.publish_snapshot()
+            merged = yield self.import_snapshot(lfn)
+            return merged
+
+        return sim.spawn(run(), name=f"index-sync {other.site.name}->"
+                                     f"{self.site.name}")

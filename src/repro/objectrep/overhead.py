@@ -1,0 +1,78 @@
+"""The §5.3 server resource model.
+
+"an object replication server will need more CPU and disk I/O resources
+[than] a file replication server dimensioned to saturate the same amount of
+network bandwidth.  The running of the object copier tool means a
+significant extra load on the operating system: it needs to process more
+file system I/O calls and context switches per byte sent over the network.
+Also the amount of traffic on the machine databus per network byte sent is
+increased.  In situations where a single box needs to drive a very high-end
+network card, a degradation in network traffic handling efficiency might
+therefore be noticeable ... In that case, running the object copier tool on
+a different box (connected via a fast disk server) might be necessary."
+
+:class:`ServerResources` + :class:`ServerCostModel` turn that paragraph
+into numbers: per network byte served, each mode charges CPU cycles, disk
+bytes, and databus bytes; the achievable network rate is the binding
+resource's limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ServerResources", "ServerCostModel", "achievable_network_rate"]
+
+
+@dataclass(frozen=True)
+class ServerResources:
+    """One server box (2001-era dual-CPU storage node by default)."""
+
+    cpu_rate: float = 1.2e9       # useful cycles/s available to data serving
+    disk_rate: float = 160e6      # bytes/s aggregate disk bandwidth
+    bus_rate: float = 800e6       # bytes/s memory/databus budget
+    nic_rate: float = 125e6       # bytes/s (a "very high-end" GbE card)
+
+
+@dataclass(frozen=True)
+class ServerCostModel:
+    """Per-network-byte resource charges for one serving mode.
+
+    File serving streams pages: ~1 disk byte and ~2 databus bytes (disk ->
+    memory -> NIC) per network byte, few cycles.  Object serving adds the
+    copier: the byte is read, copied into the new file, read back for the
+    network — more I/O calls, more context switches, more bus crossings.
+    """
+
+    cpu_per_byte: float
+    disk_per_byte: float
+    bus_per_byte: float
+
+    @classmethod
+    def file_serving(cls) -> "ServerCostModel":
+        return cls(cpu_per_byte=2.0, disk_per_byte=1.0, bus_per_byte=2.0)
+
+    @classmethod
+    def object_serving(cls) -> "ServerCostModel":
+        # read source + write temp + read temp for send = 3 disk bytes;
+        # each crossing doubles on the bus; copier loop burns extra cycles.
+        return cls(cpu_per_byte=7.0, disk_per_byte=3.0, bus_per_byte=6.0)
+
+    @classmethod
+    def object_serving_split(cls) -> "ServerCostModel":
+        """Copier on a separate box (fast disk server between them): the
+        network-facing box sees file-serving costs again, plus a small
+        coordination overhead."""
+        return cls(cpu_per_byte=2.5, disk_per_byte=1.0, bus_per_byte=2.0)
+
+
+def achievable_network_rate(
+    resources: ServerResources, cost: ServerCostModel
+) -> float:
+    """The network rate (bytes/s) at which the first resource saturates."""
+    return min(
+        resources.nic_rate,
+        resources.cpu_rate / cost.cpu_per_byte,
+        resources.disk_rate / cost.disk_per_byte,
+        resources.bus_rate / cost.bus_per_byte,
+    )

@@ -1,0 +1,118 @@
+"""Measurement helpers: traces, counters, and time-weighted series.
+
+The paper's GridFTP has "integrated instrumentation, for monitoring ongoing
+transfer performance"; these classes are the simulation-side equivalent and
+are what the benchmark harness reads its series from.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = ["Trace", "TimeSeries", "Monitor"]
+
+
+@dataclass
+class Trace:
+    """An append-only log of ``(time, label, payload)`` records."""
+
+    records: list[tuple[float, str, Any]] = field(default_factory=list)
+
+    def record(self, time: float, label: str, payload: Any = None) -> None:
+        """Append one (time, label, payload) record."""
+        self.records.append((time, label, payload))
+
+    def labelled(self, label: str) -> list[tuple[float, Any]]:
+        """All (time, payload) pairs recorded under a label."""
+        return [(t, p) for t, lbl, p in self.records if lbl == label]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[tuple[float, str, Any]]:
+        return iter(self.records)
+
+
+class TimeSeries:
+    """Samples of a value over time with time-weighted statistics.
+
+    Used for, e.g., a link's queue occupancy or a server's CPU load: the
+    mean must weight each sample by how long it was in effect.
+    """
+
+    def __init__(self) -> None:
+        self.times: list[float] = []
+        self.values: list[float] = []
+
+    def sample(self, time: float, value: float) -> None:
+        """Record the value in effect from ``time`` onwards."""
+        if self.times and time < self.times[-1]:
+            raise ValueError("samples must be time-ordered")
+        self.times.append(time)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    @property
+    def last(self) -> float:
+        return self.values[-1]
+
+    def time_average(self, until: float | None = None) -> float:
+        """Mean of the step function defined by the samples."""
+        if not self.times:
+            raise ValueError("no samples")
+        end = self.times[-1] if until is None else until
+        if len(self.times) == 1 or end <= self.times[0]:
+            return self.values[0]
+        total = 0.0
+        for i in range(len(self.times) - 1):
+            seg_end = min(self.times[i + 1], end)
+            if seg_end > self.times[i]:
+                total += self.values[i] * (seg_end - self.times[i])
+        if end > self.times[-1]:
+            total += self.values[-1] * (end - self.times[-1])
+        span = end - self.times[0]
+        return total / span if span > 0 else self.values[0]
+
+    def maximum(self) -> float:
+        """Largest sampled value."""
+        return max(self.values)
+
+
+class Monitor:
+    """A named bundle of counters, traces, and time series."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = {}
+        self.traces: dict[str, Trace] = {}
+        self.series: dict[str, TimeSeries] = {}
+
+    def count(self, name: str, amount: float = 1.0) -> None:
+        """Increment a named counter."""
+        self.counters[name] = self.counters.get(name, 0.0) + amount
+
+    def trace(self, name: str) -> Trace:
+        """The named trace, created on first use."""
+        return self.traces.setdefault(name, Trace())
+
+    def timeseries(self, name: str) -> TimeSeries:
+        """The named time series, created on first use."""
+        return self.series.setdefault(name, TimeSeries())
+
+    def counter(self, name: str) -> float:
+        """Current value of a counter (0 when never counted)."""
+        return self.counters.get(name, 0.0)
+
+    def summary(self) -> dict[str, float]:
+        """Flat scalar snapshot: counters plus time-averages of series."""
+        out = dict(self.counters)
+        for name, series in self.series.items():
+            if len(series):
+                avg = series.time_average()
+                if not math.isnan(avg):
+                    out[f"{name}.avg"] = avg
+                out[f"{name}.max"] = series.maximum()
+        return out

@@ -1,0 +1,42 @@
+"""Reproducible random-number streams.
+
+Every stochastic component of the grid simulation (packet loss, failure
+injection, workload generation) draws from its own named stream so that
+adding a new random consumer does not perturb the draws seen by existing
+ones — runs stay reproducible experiment-to-experiment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["RandomStreams"]
+
+
+class RandomStreams:
+    """A family of independent :class:`numpy.random.Generator` streams.
+
+    Streams are derived from a root seed and a string name via
+    ``SeedSequence.spawn``-style keying, so ``streams["tcp.loss"]`` is the
+    same sequence for a given root seed regardless of creation order.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+        self._streams: dict[str, np.random.Generator] = {}
+
+    def __getitem__(self, name: str) -> np.random.Generator:
+        stream = self._streams.get(name)
+        if stream is None:
+            # Key the child seed on (root seed, name) deterministically.
+            child = np.random.SeedSequence(
+                entropy=self.seed,
+                spawn_key=tuple(name.encode("utf-8")),
+            )
+            stream = np.random.Generator(np.random.PCG64(child))
+            self._streams[name] = stream
+        return stream
+
+    def reset(self) -> None:
+        """Forget all streams; next access re-derives them from the seed."""
+        self._streams.clear()

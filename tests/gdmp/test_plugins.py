@@ -1,0 +1,78 @@
+"""Tests for the file-type plugin registry and the per-format hooks."""
+
+import pytest
+
+from repro.gdmp.plugins import (
+    FlatFilePlugin,
+    IndexFilePlugin,
+    ObjectivityPlugin,
+    OraclePlugin,
+    PluginRegistry,
+)
+from repro.gdmp.request_manager import GdmpError
+from repro.netsim.units import MB
+
+
+def test_registry_defaults():
+    registry = PluginRegistry()
+    assert isinstance(registry.for_type("flat"), FlatFilePlugin)
+    assert isinstance(registry.for_type("objectivity"), ObjectivityPlugin)
+    assert isinstance(registry.for_type("object-index"), IndexFilePlugin)
+    assert isinstance(registry.for_type("oracle"), OraclePlugin)
+    with pytest.raises(GdmpError, match="no plugin"):
+        registry.for_type("punch-cards")
+
+
+def test_for_info_defaults_to_flat():
+    registry = PluginRegistry()
+    assert registry.for_info(None).file_type == "flat"
+
+    class FakeInfo:
+        attributes = {"filetype": "oracle"}
+
+    assert registry.for_info(FakeInfo()).file_type == "oracle"
+
+
+def test_oracle_replication_imports_schema_and_tablespace(grid):
+    cern, anl = grid.site("cern"), grid.site("anl")
+    grid.run(
+        until=cern.client.produce_and_publish(
+            "users01.dbf",
+            20 * MB,
+            filetype="oracle",
+            ddl="CREATE TABLE events;CREATE INDEX ev_run",
+            tablespace="USERS",
+        )
+    )
+    report = grid.run(until=anl.client.replicate("users01.dbf"))
+    assert report.size == 20 * MB
+    # pre-processing ran the two DDL statements at the destination
+    assert anl.config.attrs["oracle_schema"] == {
+        "CREATE TABLE events", "CREATE INDEX ev_run"
+    }
+    # post-processing imported the tablespace
+    assert "USERS" in anl.config.attrs["oracle_tablespaces"]
+
+
+def test_oracle_ddl_is_idempotent_across_files(grid):
+    cern, anl = grid.site("cern"), grid.site("anl")
+    for i, name in enumerate(["a.dbf", "b.dbf"]):
+        grid.run(
+            until=cern.client.produce_and_publish(
+                name, 1 * MB, filetype="oracle",
+                ddl="CREATE TABLE events", tablespace=f"TS{i}",
+            )
+        )
+        grid.run(until=anl.client.replicate(name))
+    # the shared DDL statement was applied exactly once
+    assert anl.config.attrs["oracle_schema"] == {"CREATE TABLE events"}
+    assert set(anl.config.attrs["oracle_tablespaces"]) == {"TS0", "TS1"}
+
+
+def test_custom_plugin_registration(grid):
+    class HDF5Plugin(FlatFilePlugin):
+        file_type = "hdf5"
+
+    registry = PluginRegistry()
+    registry.register(HDF5Plugin())
+    assert registry.for_type("hdf5").file_type == "hdf5"

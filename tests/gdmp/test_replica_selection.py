@@ -1,0 +1,73 @@
+"""Tests for cost-function replica selection ([VTF01] future work)."""
+
+import pytest
+
+from repro.gdmp import DataGrid, GdmpConfig, choose_replica
+from repro.gdmp.replica_selection import estimate_transfer_time
+from repro.netsim.link import Link
+from repro.netsim.topology import Host, Topology
+from repro.netsim.units import MB, mbps
+
+
+@pytest.fixture
+def uneven_topology():
+    """dst connected to a nearby fast site and a distant slow one."""
+    topo = Topology()
+    for name in ("dst", "near", "far"):
+        topo.add_host(Host(name))
+    topo.connect("dst", "near", Link("l-near", capacity=mbps(100), delay=0.005))
+    topo.connect("dst", "far", Link("l-far", capacity=mbps(45), delay=0.0625,
+                                    cross_traffic=mbps(20)))
+    return topo
+
+
+def locations(*sites):
+    return [{"location": s, "hostname": s, "url": f"gsiftp://{s}/x"} for s in sites]
+
+
+def test_estimate_includes_setup_and_streaming(uneven_topology):
+    score = estimate_transfer_time(uneven_topology, "far", "dst", 100 * MB)
+    assert score.rtt == pytest.approx(0.125)
+    assert score.available_bandwidth == pytest.approx(mbps(25))
+    assert score.estimated_time == pytest.approx(5 * 0.125 + 100 * MB / mbps(25))
+
+
+def test_nearby_fast_replica_wins(uneven_topology):
+    choice = choose_replica(
+        uneven_topology, locations("near", "far"), "dst", 100 * MB
+    )
+    assert choice.site == "near"
+
+
+def test_destination_itself_is_not_a_candidate(uneven_topology):
+    choice = choose_replica(
+        uneven_topology, locations("dst", "far"), "dst", 1 * MB
+    )
+    assert choice.site == "far"
+
+
+def test_unreachable_sites_are_skipped(uneven_topology):
+    uneven_topology.add_host(Host("island"))
+    choice = choose_replica(
+        uneven_topology, locations("island", "near"), "dst", 1 * MB
+    )
+    assert choice.site == "near"
+
+
+def test_no_candidates_raises(uneven_topology):
+    with pytest.raises(ValueError, match="no usable replica"):
+        choose_replica(uneven_topology, locations("dst"), "dst", 1 * MB)
+    with pytest.raises(ValueError):
+        choose_replica(uneven_topology, [], "dst", 1 * MB)
+
+
+def test_replication_uses_nearest_source_in_grid():
+    """In a grid where one source's link is congested, selection still
+    works (full-mesh identical links: any non-self site is valid)."""
+    grid = DataGrid(
+        [GdmpConfig("cern"), GdmpConfig("anl"), GdmpConfig("caltech")]
+    )
+    cern = grid.site("cern")
+    grid.run(until=cern.client.produce_and_publish("sel.db", 2 * MB))
+    report = grid.run(until=grid.site("caltech").client.replicate("sel.db"))
+    assert report.source == "cern"

@@ -1,0 +1,84 @@
+"""Tests for the authenticated RPC layer."""
+
+import pytest
+
+from repro.gdmp import RemoteError
+from repro.gdmp.request_manager import GdmpError
+from repro.security import new_user_credential
+
+
+def test_call_round_trip_pays_wan_latency(grid):
+    anl = grid.site("anl")
+    start = grid.sim.now
+    result = grid.run(until=anl.request_client.call("cern", "get_catalog", {}))
+    assert result == {}
+    assert grid.sim.now - start >= 0.125  # at least one WAN round trip
+
+
+def test_unknown_operation_raises_remote_error(grid):
+    anl = grid.site("anl")
+    with pytest.raises(RemoteError, match="unknown operation"):
+        grid.run(until=anl.request_client.call("cern", "no_such_op", {}))
+
+
+def test_unauthorized_caller_rejected(grid):
+    anl = grid.site("anl")
+    # swap in a credential absent from the gridmap
+    anl.request_client.credential = new_user_credential(grid.ca, "/O=Grid/CN=Intruder")
+    with pytest.raises(RemoteError, match="security"):
+        grid.run(until=anl.request_client.call("cern", "get_catalog", {}))
+    assert grid.site("cern").request_server.monitor.counter("auth_failures") == 1
+
+
+def test_untrusted_ca_rejected(grid):
+    from repro.security import CertificateAuthority
+
+    rogue = CertificateAuthority("/O=Rogue/CN=CA")
+    anl = grid.site("anl")
+    anl.request_client.credential = new_user_credential(rogue, "/O=Rogue/CN=Eve")
+    with pytest.raises(RemoteError, match="security"):
+        grid.run(until=anl.request_client.call("cern", "get_catalog", {}))
+
+
+def test_handler_gdmp_error_propagates_message(grid):
+    cern = grid.site("cern")
+
+    def failing_handler(request):
+        raise GdmpError("deliberate failure")
+        yield
+
+    cern.request_server.register("explode", failing_handler)
+    anl = grid.site("anl")
+    with pytest.raises(RemoteError, match="deliberate failure"):
+        grid.run(until=anl.request_client.call("cern", "explode", {}))
+
+
+def test_duplicate_handler_registration_rejected(grid):
+    cern = grid.site("cern")
+    with pytest.raises(ValueError):
+        cern.request_server.register("get_catalog", lambda request: iter(()))
+
+
+def test_concurrent_calls_resolve_to_correct_callers(grid):
+    anl = grid.site("anl")
+    caltech_missing = []
+
+    def driver(sim):
+        a = anl.request_client.call("cern", "get_catalog", {})
+        b = anl.request_client.call("cern", "subscribe", {"site": "anl"})
+        result_b = yield b
+        result_a = yield a
+        caltech_missing.append((result_a, result_b))
+
+    grid.sim.spawn(driver(grid.sim))
+    grid.run()
+    result_a, result_b = caltech_missing[0]
+    assert result_a == {}
+    assert result_b == ["anl"]
+
+
+def test_operation_counter(grid):
+    anl = grid.site("anl")
+    grid.run(until=anl.request_client.call("cern", "get_catalog", {}))
+    assert grid.site("cern").request_server.monitor.counter("op_get_catalog") == 1
+    assert anl.request_client.monitor.counter("calls") == 1

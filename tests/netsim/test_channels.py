@@ -1,0 +1,89 @@
+"""Tests for the message-level control-traffic network."""
+
+import pytest
+
+from repro.netsim import cern_anl_testbed
+from repro.netsim.channels import MessageNetwork
+
+
+@pytest.fixture
+def net():
+    sim, topo, _engine = cern_anl_testbed()
+    return sim, MessageNetwork(sim, topo)
+
+
+def test_register_and_lookup(net):
+    sim, msgnet = net
+    mailbox = msgnet.register("anl", "gdmp")
+    assert msgnet.lookup("anl", "gdmp") is mailbox
+
+
+def test_duplicate_registration_rejected(net):
+    _sim, msgnet = net
+    msgnet.register("anl", "gdmp")
+    with pytest.raises(ValueError):
+        msgnet.register("anl", "gdmp")
+
+
+def test_lookup_missing_service(net):
+    _sim, msgnet = net
+    with pytest.raises(KeyError):
+        msgnet.lookup("anl", "nothing")
+
+
+def test_message_delivered_after_wan_latency(net):
+    sim, msgnet = net
+    mailbox = msgnet.register("anl", "gdmp")
+    received = []
+
+    def server(sim):
+        envelope = yield mailbox.get()
+        received.append((envelope.payload, sim.now))
+
+    sim.spawn(server(sim))
+    msgnet.send("cern", "anl", "gdmp", payload={"op": "publish"}, size=512)
+    sim.run()
+    payload, t = received[0]
+    assert payload == {"op": "publish"}
+    # one-way propagation (62.5 ms) + overhead + serialization
+    assert 0.0625 < t < 0.07
+
+
+def test_local_message_is_fast(net):
+    sim, msgnet = net
+    assert msgnet.latency("cern", "cern", 512) == pytest.approx(0.001)
+
+
+def test_send_event_reports_delivery(net):
+    sim, msgnet = net
+    msgnet.register("anl", "gdmp")
+    event = msgnet.send("cern", "anl", "gdmp", payload="x", size=100)
+    sim.run()
+    envelope = event.value
+    assert envelope.src == "cern"
+    assert envelope.dst == "anl"
+    assert envelope.delivered_at > envelope.sent_at
+
+
+def test_fifo_per_mailbox(net):
+    sim, msgnet = net
+    mailbox = msgnet.register("anl", "gdmp")
+    order = []
+
+    def server(sim):
+        for _ in range(3):
+            envelope = yield mailbox.get()
+            order.append(envelope.payload)
+
+    sim.spawn(server(sim))
+    for i in range(3):
+        msgnet.send("cern", "anl", "gdmp", payload=i, size=100)
+    sim.run()
+    assert order == [0, 1, 2]
+
+
+def test_larger_messages_take_longer(net):
+    _sim, msgnet = net
+    small = msgnet.latency("cern", "anl", 100)
+    big = msgnet.latency("cern", "anl", 10_000_000)
+    assert big > small

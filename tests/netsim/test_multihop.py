@@ -1,0 +1,76 @@
+"""Multi-hop and asymmetric-topology behaviour of the flow engine."""
+
+import pytest
+
+from repro.netsim import TcpParams, to_mbps
+from repro.netsim.engine import NetworkEngine
+from repro.netsim.link import Link
+from repro.netsim.topology import Host, Topology
+from repro.netsim.units import KiB, MB, mbps
+from repro.simulation import Simulator
+
+
+def build_chain(middle_capacity_mbps=10):
+    """a --100Mbps-- b --X-- c: the middle link is the bottleneck."""
+    sim = Simulator()
+    topo = Topology()
+    for name in "abc":
+        topo.add_host(Host(name))
+    topo.connect("a", "b", Link("ab", capacity=mbps(100), delay=0.01))
+    topo.connect("b", "c", Link("bc", capacity=mbps(middle_capacity_mbps),
+                                delay=0.02))
+    engine = NetworkEngine(sim, topo, seed=3)
+    return sim, topo, engine
+
+
+def test_multi_hop_rtt_is_sum_of_links():
+    _sim, topo, _engine = build_chain()
+    assert topo.base_rtt("a", "c") == pytest.approx(2 * (0.01 + 0.02))
+
+
+def test_throughput_bounded_by_narrowest_link():
+    sim, _topo, engine = build_chain(middle_capacity_mbps=10)
+    pool = engine.open_transfer("a", "c", nbytes=20 * MB, streams=4,
+                                tcp=TcpParams(buffer=1024 * KiB))
+    sim.run(until=pool.done)
+    assert to_mbps(pool.throughput()) < 10.5
+
+
+def test_local_hop_traffic_shares_only_its_link():
+    """A transfer a->b and a transfer b->c contend on no common link, so
+    both achieve their own bottleneck rate."""
+    sim, _topo, engine = build_chain(middle_capacity_mbps=10)
+    ab = engine.open_transfer("a", "b", nbytes=20 * MB, streams=2,
+                              tcp=TcpParams(buffer=1024 * KiB))
+    bc = engine.open_transfer("b", "c", nbytes=5 * MB, streams=2,
+                              tcp=TcpParams(buffer=1024 * KiB))
+    sim.run(until=ab.done)
+    sim.run(until=bc.done)
+    assert to_mbps(ab.throughput()) > 50     # most of the 100 Mbps link
+    assert 6 < to_mbps(bc.throughput()) < 10.5
+
+
+def test_transit_and_local_flows_share_the_bottleneck():
+    """a->c transit traffic and b->c local traffic share link bc."""
+    sim, _topo, engine = build_chain(middle_capacity_mbps=10)
+    transit = engine.open_transfer("a", "c", nbytes=10 * MB, streams=2,
+                                   tcp=TcpParams(buffer=1024 * KiB))
+    local = engine.open_transfer("b", "c", nbytes=10 * MB, streams=2,
+                                 tcp=TcpParams(buffer=1024 * KiB))
+    sim.run(until=transit.done)
+    sim.run(until=local.done)
+    total_time = max(transit.completed_at, local.completed_at)
+    aggregate = to_mbps(20 * MB / total_time)
+    assert aggregate < 10.5  # both squeezed through the 10 Mbps link
+    # and neither starved completely
+    assert transit.exhausted and local.exhausted
+
+
+def test_queueing_on_one_link_inflates_end_to_end_rtt():
+    sim, topo, engine = build_chain()
+    bc = topo.route("b", "c")[-1]
+    bc.queue = bc.capacity * 0.05  # 50 ms of queue on the bottleneck
+    from repro.netsim.tools import ping
+
+    result = ping(topo, "a", "c")
+    assert result.rtt == pytest.approx(0.06 + 0.05)

@@ -1,0 +1,86 @@
+"""Tests for the simulated ping/pipechar/iperf tools and tuning formulas."""
+
+import pytest
+
+from repro.netsim import (
+    TcpParams,
+    cern_anl_testbed,
+    iperf,
+    optimal_buffer_size,
+    ping,
+    pipechar,
+    recommend_streams,
+    to_mbps,
+)
+from repro.netsim.units import KiB, mbps
+
+
+def test_ping_measures_base_rtt():
+    _sim, topo, _engine = cern_anl_testbed()
+    result = ping(topo, "cern", "anl")
+    assert result.base_rtt == pytest.approx(0.125)
+    assert result.rtt == pytest.approx(0.125)  # idle network: no queueing
+    assert result.hops == 1
+
+
+def test_ping_sees_queueing_delay():
+    _sim, topo, _engine = cern_anl_testbed()
+    link = topo.route("cern", "anl")[0]
+    link.queue = link.capacity * 0.02  # 20 ms of queue
+    result = ping(topo, "cern", "anl")
+    assert result.rtt == pytest.approx(0.145)
+
+
+def test_pipechar_finds_bottleneck():
+    _sim, topo, _engine = cern_anl_testbed()
+    result = pipechar(topo, "cern", "anl")
+    assert result.bottleneck_capacity == pytest.approx(mbps(45))
+    assert result.available_bandwidth == pytest.approx(mbps(25))
+    assert result.bottleneck_name == "wan-cern-anl"
+
+
+def test_iperf_multi_stream_beats_single_untuned():
+    sim, _topo, engine = cern_anl_testbed()
+    one = iperf(engine, "cern", "anl", streams=1, duration=30,
+                tcp=TcpParams(buffer=64 * KiB))
+    sim.run()  # drain the retired iperf flows
+    many = iperf(engine, "cern", "anl", streams=8, duration=30,
+                 tcp=TcpParams(buffer=64 * KiB))
+    assert many.throughput > 4 * one.throughput
+    assert to_mbps(many.throughput) < 26
+
+
+def test_iperf_duration_validation():
+    _sim, _topo, engine = cern_anl_testbed()
+    with pytest.raises(ValueError):
+        iperf(engine, "cern", "anl", duration=0)
+
+
+# --------------------------------------------------------------- tuning ---
+def test_optimal_buffer_is_bandwidth_delay_product():
+    # paper formula with the testbed's *measured* values
+    _sim, topo, _engine = cern_anl_testbed()
+    rtt = ping(topo, "cern", "anl").rtt
+    bw = pipechar(topo, "cern", "anl").available_bandwidth
+    assert optimal_buffer_size(rtt, bw) == pytest.approx(0.125 * mbps(25), abs=1)
+
+
+def test_optimal_buffer_validation():
+    with pytest.raises(ValueError):
+        optimal_buffer_size(0, 100)
+    with pytest.raises(ValueError):
+        optimal_buffer_size(0.1, 0)
+
+
+def test_recommend_streams_tuned_buffer_needs_few():
+    assert recommend_streams(1024 * KiB, 390 * KiB) == 3
+
+
+def test_recommend_streams_untuned_needs_many():
+    n = recommend_streams(64 * KiB, 390 * KiB)
+    assert 5 <= n <= 8  # paper: "we usually find that 4-8 streams is optimal"
+
+
+def test_recommend_streams_validation():
+    with pytest.raises(ValueError):
+        recommend_streams(0, 100)

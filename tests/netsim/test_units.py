@@ -1,0 +1,50 @@
+import pytest
+
+from repro.netsim.units import (
+    GB,
+    KiB,
+    MB,
+    MiB,
+    fmt_bytes,
+    fmt_rate_mbps,
+    mbps,
+    parse_size,
+    to_mbps,
+)
+
+
+def test_mbps_round_trip():
+    rate = mbps(45)
+    assert rate == pytest.approx(45e6 / 8)
+    assert to_mbps(rate) == pytest.approx(45)
+
+
+def test_decimal_and_binary_units_differ():
+    assert MB == 1_000_000
+    assert MiB == 1_048_576
+    assert KiB == 1024
+
+
+def test_fmt_bytes():
+    assert fmt_bytes(100 * MB) == "100 MB"
+    assert fmt_bytes(2 * GB) == "2 GB"
+    assert fmt_bytes(512) == "512 B"
+
+
+def test_fmt_rate():
+    assert fmt_rate_mbps(mbps(23.0)) == "23.00 Mbps"
+
+
+@pytest.mark.parametrize(
+    "text,expected",
+    [
+        ("64KiB", 64 * 1024),
+        ("1 MB", 1_000_000),
+        ("100MB", 100 * MB),
+        ("2.5 GB", 2_500_000_000),
+        ("1460", 1460),
+        ("1MiB", 1_048_576),
+    ],
+)
+def test_parse_size(text, expected):
+    assert parse_size(text) == expected

@@ -1,0 +1,88 @@
+"""Tests for the tag database and cut-based selection."""
+
+import numpy as np
+import pytest
+
+from repro.objectdb.tags import Cut, TagDatabase, TagError
+
+
+@pytest.fixture
+def tags():
+    db = TagDatabase(range(100))
+    db.add_column("njets", [i % 5 for i in range(100)])
+    db.add_column("met", [float(i) for i in range(100)])
+    return db
+
+
+def test_cut_parse_round_trip():
+    cut = Cut.parse("njets >= 3")
+    assert cut.attribute == "njets"
+    assert cut.operator == ">="
+    assert cut.value == 3.0
+    assert str(cut) == "njets >= 3"
+
+
+def test_cut_parse_longest_operator_wins():
+    assert Cut.parse("met<=10").operator == "<="
+    assert Cut.parse("met<10").operator == "<"
+    assert Cut.parse("met!=10").operator == "!="
+
+
+@pytest.mark.parametrize("bad", ["met", "met ~ 3", ">= 3", "met >= banana"])
+def test_cut_parse_rejects_malformed(bad):
+    with pytest.raises(TagError):
+        Cut.parse(bad)
+
+
+def test_single_cut_selection(tags):
+    selected = tags.select(["njets >= 3"])
+    assert all(e % 5 >= 3 for e in selected)
+    assert len(selected) == 40
+
+
+def test_conjunction_of_cuts(tags):
+    selected = tags.select(["njets >= 3", "met > 50"])
+    assert all(e % 5 >= 3 and e > 50 for e in selected)
+    assert selected == tags.select([Cut("njets", ">=", 3), Cut("met", ">", 50)])
+
+
+def test_selection_fraction(tags):
+    assert tags.selection_fraction(["met >= 90"]) == pytest.approx(0.10)
+    assert tags.selection_fraction([]) == 1.0
+
+
+def test_unknown_attribute_rejected(tags):
+    with pytest.raises(TagError, match="no tag attribute"):
+        tags.select(["ghost > 1"])
+
+
+def test_column_shape_validated():
+    db = TagDatabase(range(10))
+    with pytest.raises(TagError):
+        db.add_column("short", [1.0, 2.0])
+
+
+def test_empty_database_rejected():
+    with pytest.raises(TagError):
+        TagDatabase([])
+
+
+def test_generate_is_deterministic_and_physical():
+    a = TagDatabase.generate(1000, seed=5)
+    b = TagDatabase.generate(1000, seed=5)
+    assert np.array_equal(a.column("met"), b.column("met"))
+    assert a.attributes == ("lepton_pt", "met", "njets")
+    assert (a.column("njets") >= 0).all()
+    assert (a.column("njets") == np.floor(a.column("njets"))).all()
+
+
+def test_tight_cuts_give_sparse_selections():
+    """The §5.1 funnel arises from physics cuts: tightening them drives the
+    selection fraction down orders of magnitude."""
+    tags = TagDatabase.generate(50_000, seed=9)
+    loose = tags.selection_fraction(["njets >= 2"])
+    medium = tags.selection_fraction(["njets >= 4", "met > 50"])
+    tight = tags.selection_fraction(["njets >= 5", "met > 80", "lepton_pt > 50"])
+    assert loose > 0.4
+    assert 0.001 < medium < 0.2
+    assert tight < medium / 3

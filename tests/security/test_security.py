@@ -1,0 +1,204 @@
+"""Tests for the GSI security substrate: keys, CA, proxies, handshake, gridmap."""
+
+import pytest
+
+from repro.security import (
+    AuthenticationError,
+    AuthorizationError,
+    CertificateAuthority,
+    CertificateError,
+    GridMap,
+    KeyPair,
+    mutual_authenticate,
+    new_user_credential,
+    verify,
+)
+from repro.security.ca import verify_chain
+
+
+@pytest.fixture
+def ca():
+    return CertificateAuthority()
+
+
+@pytest.fixture
+def alice(ca):
+    return new_user_credential(ca, "/O=Grid/OU=cern.ch/CN=Alice")
+
+
+@pytest.fixture
+def server(ca):
+    return new_user_credential(ca, "/O=Grid/OU=anl.gov/CN=gdmp/host=grid.anl.gov")
+
+
+# ------------------------------------------------------------- keys -------
+def test_sign_verify_round_trip():
+    keys = KeyPair.generate()
+    sig = keys.sign("hello")
+    assert verify(keys.public, "hello", sig)
+
+
+def test_verify_rejects_tampered_data():
+    keys = KeyPair.generate()
+    sig = keys.sign("hello")
+    assert not verify(keys.public, "hullo", sig)
+
+
+def test_verify_rejects_wrong_key():
+    a, b = KeyPair.generate(), KeyPair.generate()
+    sig = a.sign("hello")
+    assert not verify(b.public, "hello", sig)
+
+
+def test_verify_unknown_public_key():
+    assert not verify("no-such-key", "data", "sig")
+
+
+# ------------------------------------------------------------- certs ------
+def test_ca_issues_verifiable_certificate(ca, alice):
+    assert alice.certificate.check_signature()
+    assert verify_chain(alice.chain, [ca], now=0.0) == alice.subject
+
+
+def test_chain_from_untrusted_ca_rejected(alice):
+    other_ca = CertificateAuthority("/C=XX/O=Evil/CN=Bogus CA")
+    with pytest.raises(CertificateError, match="not a trusted CA"):
+        verify_chain(alice.chain, [other_ca], now=0.0)
+
+
+def test_expired_certificate_rejected(ca):
+    cred = new_user_credential(ca, "/O=Grid/CN=Shortlived", now=0.0, lifetime=10.0)
+    verify_chain(cred.chain, [ca], now=5.0)
+    with pytest.raises(CertificateError, match="expired"):
+        verify_chain(cred.chain, [ca], now=11.0)
+
+
+def test_not_yet_valid_certificate_rejected(ca):
+    cred = new_user_credential(ca, "/O=Grid/CN=Future", now=100.0)
+    with pytest.raises(CertificateError, match="not yet valid"):
+        verify_chain(cred.chain, [ca], now=50.0)
+
+
+def test_subject_dn_must_be_absolute(ca):
+    keys = KeyPair.generate()
+    with pytest.raises(ValueError):
+        ca.issue("CN=NoSlash", keys.public)
+
+
+# ------------------------------------------------------------- proxies ----
+def test_proxy_authenticates_as_user_identity(ca, alice):
+    proxy = alice.create_proxy(now=0.0)
+    identity = verify_chain(proxy.chain, [ca], now=1.0)
+    assert identity == alice.subject
+    assert proxy.subject.endswith("/CN=proxy")
+    assert proxy.identity == alice.subject
+
+
+def test_proxy_expires_independently(ca, alice):
+    proxy = alice.create_proxy(now=0.0, lifetime=100.0)
+    verify_chain(proxy.chain, [ca], now=99.0)
+    with pytest.raises(CertificateError, match="expired"):
+        verify_chain(proxy.chain, [ca], now=101.0)
+
+
+def test_delegated_proxy_keeps_identity_and_depth(ca, alice):
+    proxy = alice.create_proxy(now=0.0, lifetime=1000.0)
+    delegated = proxy.delegate(now=10.0)
+    assert verify_chain(delegated.chain, [ca], now=20.0) == alice.subject
+    assert delegated.delegation_depth == 2
+    assert len(delegated.chain) == 3
+
+
+def test_delegation_cannot_outlive_parent(ca, alice):
+    proxy = alice.create_proxy(now=0.0, lifetime=100.0)
+    delegated = proxy.delegate(now=50.0, lifetime=10_000.0)
+    assert delegated.certificate.valid_until <= 100.0
+
+
+def test_delegation_from_expired_proxy_rejected(ca, alice):
+    from repro.security import CredentialError
+
+    proxy = alice.create_proxy(now=0.0, lifetime=10.0)
+    with pytest.raises(CredentialError):
+        proxy.delegate(now=20.0)
+
+
+def test_forged_chain_rejected(ca, alice, server):
+    # splice Alice's proxy onto the server's end-entity certificate
+    proxy = alice.create_proxy(now=0.0)
+    forged = [proxy.chain[0], server.chain[0]]
+    with pytest.raises(CertificateError, match="broken chain"):
+        verify_chain(forged, [ca], now=1.0)
+
+
+# ------------------------------------------------------------- handshake --
+def test_mutual_authentication_success(ca, alice, server):
+    proxy = alice.create_proxy(now=0.0)
+    client_ctx, server_ctx = mutual_authenticate(proxy, server, [ca], now=1.0)
+    assert server_ctx.peer_identity == alice.subject
+    assert client_ctx.peer_identity == server.subject
+    assert client_ctx.peer_subject == server.subject
+
+
+def test_mutual_authentication_rejects_expired_proxy(ca, alice, server):
+    proxy = alice.create_proxy(now=0.0, lifetime=10.0)
+    with pytest.raises(AuthenticationError):
+        mutual_authenticate(proxy, server, [ca], now=100.0)
+
+
+def test_mutual_authentication_rejects_untrusted_peer(ca, alice):
+    rogue_ca = CertificateAuthority("/O=Rogue/CN=CA")
+    rogue = new_user_credential(rogue_ca, "/O=Rogue/CN=srv")
+    with pytest.raises(AuthenticationError):
+        mutual_authenticate(alice, rogue, [ca], now=0.0)
+
+
+def test_context_sign_requires_own_credential(ca, alice, server):
+    ctx, _ = mutual_authenticate(alice, server, [ca], now=0.0)
+    with pytest.raises(AuthenticationError):
+        ctx.sign(server, "message")
+    assert ctx.sign(alice, "message")
+
+
+# ------------------------------------------------------------- gridmap ----
+def test_gridmap_authorize(ca, alice):
+    gm = GridMap()
+    gm.add(alice.subject, "hepuser")
+    assert gm.authorize(alice.subject) == "hepuser"
+    assert gm.is_authorized(alice.subject)
+
+
+def test_gridmap_rejects_unknown_dn():
+    gm = GridMap()
+    with pytest.raises(AuthorizationError):
+        gm.authorize("/O=Grid/CN=Nobody")
+
+
+def test_gridmap_remove():
+    gm = GridMap({"/O=G/CN=A": "a"})
+    gm.remove("/O=G/CN=A")
+    assert not gm.is_authorized("/O=G/CN=A")
+
+
+def test_gridmap_parse_classic_format():
+    text = '''
+    # comment
+    "/O=Grid/OU=cern.ch/CN=Alice" hepuser
+    "/O=Grid/OU=anl.gov/CN=Bob" bob
+    '''
+    gm = GridMap.parse(text)
+    assert gm.authorize("/O=Grid/OU=cern.ch/CN=Alice") == "hepuser"
+    assert gm.authorize("/O=Grid/OU=anl.gov/CN=Bob") == "bob"
+
+
+def test_gridmap_parse_rejects_malformed():
+    with pytest.raises(ValueError):
+        GridMap.parse("/O=Grid/CN=NoQuotes user")
+    with pytest.raises(ValueError):
+        GridMap.parse('"/O=Grid/CN=NoAccount"')
+
+
+def test_gridmap_dn_validation():
+    gm = GridMap()
+    with pytest.raises(ValueError):
+        gm.add("CN=relative", "user")

@@ -1,0 +1,77 @@
+"""Property-based tests on kernel scheduling semantics."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation import Simulator
+
+delays = st.lists(
+    st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+    min_size=1,
+    max_size=30,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(delays=delays)
+def test_timeouts_fire_in_nondecreasing_time_order(delays):
+    sim = Simulator()
+    fired = []
+
+    def waiter(sim, delay):
+        yield sim.timeout(delay)
+        fired.append(sim.now)
+
+    for delay in delays:
+        sim.spawn(waiter(sim, delay))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+    assert sim.now == max(delays)
+
+
+@settings(max_examples=60, deadline=None)
+@given(delays=delays)
+def test_all_of_completes_at_max_any_of_at_min(delays):
+    sim = Simulator()
+    times = {}
+
+    def join_all(sim):
+        yield sim.all_of([sim.timeout(d) for d in delays])
+        times["all"] = sim.now
+
+    def join_any(sim):
+        yield sim.any_of([sim.timeout(d) for d in delays])
+        times["any"] = sim.now
+
+    sim.spawn(join_all(sim))
+    sim.spawn(join_any(sim))
+    sim.run()
+    assert times["all"] == max(delays)
+    assert times["any"] == min(delays)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    delays=delays,
+    split=st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+)
+def test_run_until_time_is_a_clean_partition(delays, split):
+    """Running to t then to the end observes exactly the same firings as
+    one uninterrupted run."""
+    def simulate(step_at=None):
+        sim = Simulator()
+        fired = []
+
+        def waiter(sim, delay):
+            yield sim.timeout(delay)
+            fired.append((sim.now, delay))
+
+        for delay in delays:
+            sim.spawn(waiter(sim, delay))
+        if step_at is not None:
+            sim.run(until=step_at)
+        sim.run()
+        return fired
+
+    assert simulate(step_at=split) == simulate()

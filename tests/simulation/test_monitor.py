@@ -1,0 +1,62 @@
+"""Tests for traces, time series, and monitors."""
+
+import pytest
+
+from repro.simulation import Monitor, TimeSeries, Trace
+
+
+def test_trace_records_and_filters():
+    trace = Trace()
+    trace.record(1.0, "send", 10)
+    trace.record(2.0, "recv", 10)
+    trace.record(3.0, "send", 20)
+    assert len(trace) == 3
+    assert trace.labelled("send") == [(1.0, 10), (3.0, 20)]
+
+
+def test_timeseries_time_average_step_function():
+    ts = TimeSeries()
+    ts.sample(0.0, 10.0)
+    ts.sample(2.0, 0.0)  # value 10 for 2s, then 0 for 2s
+    ts.sample(4.0, 0.0)
+    assert ts.time_average() == pytest.approx(5.0)
+
+
+def test_timeseries_average_with_extension():
+    ts = TimeSeries()
+    ts.sample(0.0, 4.0)
+    # hold 4.0 until t=10
+    assert ts.time_average(until=10.0) == pytest.approx(4.0)
+
+
+def test_timeseries_rejects_time_reversal():
+    ts = TimeSeries()
+    ts.sample(5.0, 1.0)
+    with pytest.raises(ValueError):
+        ts.sample(4.0, 1.0)
+
+
+def test_timeseries_empty_average_raises():
+    with pytest.raises(ValueError):
+        TimeSeries().time_average()
+
+
+def test_monitor_counters_and_summary():
+    mon = Monitor()
+    mon.count("bytes", 100)
+    mon.count("bytes", 50)
+    mon.count("errors")
+    ts = mon.timeseries("load")
+    ts.sample(0.0, 1.0)
+    ts.sample(10.0, 3.0)
+    summary = mon.summary()
+    assert summary["bytes"] == 150
+    assert summary["errors"] == 1
+    assert summary["load.avg"] == pytest.approx(1.0)
+    assert summary["load.max"] == 3.0
+
+
+def test_monitor_trace_registry_is_stable():
+    mon = Monitor()
+    assert mon.trace("a") is mon.trace("a")
+    assert mon.counter("missing") == 0.0

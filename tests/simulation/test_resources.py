@@ -1,0 +1,215 @@
+"""Unit tests for Resource / Store / Container primitives."""
+
+import pytest
+
+from repro.simulation import Container, Resource, Simulator, Store
+
+
+def test_resource_serializes_access():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    log = []
+
+    def user(sim, name, hold):
+        req = res.request()
+        yield req
+        log.append((sim.now, name, "in"))
+        yield sim.timeout(hold)
+        res.release(req)
+        log.append((sim.now, name, "out"))
+
+    sim.spawn(user(sim, "a", 5))
+    sim.spawn(user(sim, "b", 2))
+    sim.run()
+    assert log == [
+        (0, "a", "in"),
+        (5, "a", "out"),
+        (5, "b", "in"),
+        (7, "b", "out"),
+    ]
+
+
+def test_resource_capacity_two_admits_two():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    entry_times = []
+
+    def user(sim):
+        req = res.request()
+        yield req
+        entry_times.append(sim.now)
+        yield sim.timeout(10)
+        res.release(req)
+
+    for _ in range(3):
+        sim.spawn(user(sim))
+    sim.run()
+    assert entry_times == [0, 0, 10]
+
+
+def test_resource_context_manager_releases():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+
+    def user(sim):
+        with res.request() as req:
+            yield req
+            yield sim.timeout(1)
+        assert res.count == 0
+
+    sim.spawn(user(sim))
+    sim.run()
+    assert res.count == 0
+
+
+def test_resource_release_unheld_rejected():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    req = res.request()
+    res.release(req)
+    from repro.simulation import SimulationError
+
+    with pytest.raises(SimulationError):
+        res.release(req)
+
+
+def test_resource_queue_length():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    res.request()
+    res.request()
+    res.request()
+    assert res.count == 1
+    assert res.queue_length == 2
+
+
+def test_resource_invalid_capacity():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Resource(sim, capacity=0)
+
+
+def test_store_fifo_order():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def producer(sim):
+        for item in ["x", "y", "z"]:
+            yield store.put(item)
+            yield sim.timeout(1)
+
+    def consumer(sim):
+        for _ in range(3):
+            got.append((yield store.get()))
+
+    sim.spawn(producer(sim))
+    sim.spawn(consumer(sim))
+    sim.run()
+    assert got == ["x", "y", "z"]
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+    got = []
+
+    def consumer(sim):
+        got.append(((yield store.get()), sim.now))
+
+    def producer(sim):
+        yield sim.timeout(5)
+        yield store.put("late")
+
+    sim.spawn(consumer(sim))
+    sim.spawn(producer(sim))
+    sim.run()
+    assert got == [("late", 5)]
+
+
+def test_store_bounded_put_blocks():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    times = []
+
+    def producer(sim):
+        yield store.put(1)
+        times.append(("put1", sim.now))
+        yield store.put(2)
+        times.append(("put2", sim.now))
+
+    def consumer(sim):
+        yield sim.timeout(3)
+        yield store.get()
+
+    sim.spawn(producer(sim))
+    sim.spawn(consumer(sim))
+    sim.run()
+    assert times == [("put1", 0), ("put2", 3)]
+
+
+def test_container_levels():
+    sim = Simulator()
+    tank = Container(sim, capacity=100, initial=50)
+    assert tank.level == 50
+
+    def proc(sim):
+        yield tank.get(30)
+        assert tank.level == 20
+        yield tank.put(80)
+        assert tank.level == 100
+
+    sim.spawn(proc(sim))
+    sim.run()
+
+
+def test_container_get_blocks_until_refill():
+    sim = Simulator()
+    tank = Container(sim, capacity=100, initial=0)
+    times = []
+
+    def consumer(sim):
+        yield tank.get(10)
+        times.append(sim.now)
+
+    def producer(sim):
+        yield sim.timeout(4)
+        yield tank.put(10)
+
+    sim.spawn(consumer(sim))
+    sim.spawn(producer(sim))
+    sim.run()
+    assert times == [4]
+
+
+def test_container_put_blocks_when_full():
+    sim = Simulator()
+    tank = Container(sim, capacity=10, initial=10)
+    times = []
+
+    def producer(sim):
+        yield tank.put(5)
+        times.append(sim.now)
+
+    def consumer(sim):
+        yield sim.timeout(2)
+        yield tank.get(5)
+
+    sim.spawn(producer(sim))
+    sim.spawn(consumer(sim))
+    sim.run()
+    assert times == [2]
+    assert tank.level == 10
+
+
+def test_container_invalid_args():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Container(sim, capacity=0)
+    with pytest.raises(ValueError):
+        Container(sim, capacity=10, initial=20)
+    tank = Container(sim, capacity=10)
+    with pytest.raises(ValueError):
+        tank.put(-1)
+    with pytest.raises(ValueError):
+        tank.get(-1)

@@ -1,0 +1,70 @@
+"""Property-based tests on disk-pool invariants under random op sequences."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim.units import MB
+from repro.storage import DiskPool, FileSystem, StorageError
+from repro.storage.diskpool import Reservation
+
+CAPACITY = 100 * MB
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("create"), st.integers(min_value=1, max_value=30)),
+        st.tuples(st.just("pin"), st.integers(min_value=0, max_value=40)),
+        st.tuples(st.just("unpin"), st.integers(min_value=0, max_value=40)),
+        st.tuples(st.just("ensure"), st.integers(min_value=1, max_value=60)),
+        st.tuples(st.just("reserve"), st.integers(min_value=1, max_value=40)),
+        st.tuples(st.just("release"), st.integers(min_value=0, max_value=5)),
+    ),
+    max_size=40,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=operations)
+def test_pool_invariants_hold_under_any_op_sequence(ops):
+    pool = DiskPool(FileSystem("site", capacity=CAPACITY))
+    counter = 0
+    reservations: list[Reservation] = []
+    clock = 0.0
+
+    for op, arg in ops:
+        clock += 1.0
+        try:
+            if op == "create":
+                counter += 1
+                size = arg * MB
+                pool.ensure_space(size)
+                pool.fs.create(f"/f{counter}", size, now=clock)
+            elif op == "pin":
+                path = f"/f{arg}"
+                if pool.fs.exists(path):
+                    pool.pin(path)
+            elif op == "unpin":
+                path = f"/f{arg}"
+                if pool.pin_count(path) > 0:
+                    pool.unpin(path)
+            elif op == "ensure":
+                pool.ensure_space(arg * MB)
+            elif op == "reserve":
+                reservations.append(pool.reserve(arg * MB))
+            elif op == "release":
+                if arg < len(reservations):
+                    reservations[arg].release()
+        except StorageError:
+            pass  # legitimate refusals (all pinned / too big) are fine
+
+        # --- invariants, after every operation -------------------------
+        assert 0 <= pool.fs.used <= CAPACITY
+        assert pool.reserved >= 0
+        assert pool.available <= pool.fs.free
+        # every pinned path exists
+        for path, count in pool._pins.items():
+            assert count > 0
+            assert pool.fs.exists(path)
+
+    # eviction never removed a pinned file: all pins still resolvable
+    for path in pool._pins:
+        assert pool.fs.exists(path)

@@ -1,0 +1,81 @@
+"""Tests for disk-space reservation (§4.4's allocate_storage extension)."""
+
+import pytest
+
+from repro.netsim.units import MB
+from repro.storage import DiskPool, FileSystem, StorageError
+
+
+@pytest.fixture
+def pool():
+    return DiskPool(FileSystem("cern", capacity=100 * MB))
+
+
+def test_reservation_excludes_space_from_available(pool):
+    reservation = pool.reserve(60 * MB)
+    assert pool.reserved == 60 * MB
+    assert pool.available == 40 * MB
+    assert pool.fs.free == 100 * MB  # nothing materialized yet
+    reservation.release()
+    assert pool.available == 100 * MB
+
+
+def test_oversubscription_rejected(pool):
+    pool.reserve(60 * MB)
+    with pytest.raises(StorageError):
+        pool.reserve(60 * MB)
+
+
+def test_reservation_evicts_cold_files(pool):
+    for i in range(10):
+        pool.fs.create(f"/f{i}", 10 * MB, now=float(i))
+    pool.reserve(30 * MB)
+    assert pool.evictions == 3
+    assert pool.available >= 0
+
+
+def test_reservation_respects_pins(pool):
+    for i in range(10):
+        pool.fs.create(f"/f{i}", 10 * MB, now=float(i))
+        pool.pin(f"/f{i}")
+    with pytest.raises(StorageError, match="pinned or reserved"):
+        pool.reserve(1 * MB)
+
+
+def test_consume_and_release_are_idempotent(pool):
+    reservation = pool.reserve(10 * MB)
+    reservation.consume()
+    reservation.consume()
+    reservation.release()
+    assert pool.reserved == 0
+
+
+def test_consume_transfers_accounting_to_the_file(pool):
+    reservation = pool.reserve(30 * MB)
+    pool.fs.create("/incoming", 30 * MB)
+    reservation.consume()
+    assert pool.reserved == 0
+    assert pool.available == 70 * MB
+
+
+def test_ensure_space_respects_outstanding_reservations(pool):
+    pool.reserve(80 * MB)
+    with pytest.raises(StorageError):
+        pool.ensure_space(30 * MB)
+    assert pool.ensure_space(20 * MB) == []
+
+
+def test_negative_reservation_rejected(pool):
+    with pytest.raises(ValueError):
+        pool.reserve(-1)
+
+
+def test_concurrent_incoming_replicas_cannot_oversubscribe():
+    """Two transfers racing for the same pool: the second reservation must
+    see the first one's claim even before any bytes land."""
+    pool = DiskPool(FileSystem("anl", capacity=50 * MB))
+    first = pool.reserve(30 * MB)
+    with pytest.raises(StorageError):
+        pool.reserve(30 * MB)
+    first.release()
+    pool.reserve(30 * MB)  # now fine

@@ -1,0 +1,59 @@
+"""Tests for the experiment harness CLI and registry."""
+
+import io
+from contextlib import redirect_stdout
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments.__main__ import main
+from repro.experiments.common import format_table
+
+
+def test_registry_modules_expose_run_and_report():
+    for name, module in EXPERIMENTS.items():
+        assert callable(module.run), name
+        assert callable(module.report), name
+        assert callable(module.main), name
+
+
+def test_cli_runs_a_cheap_experiment():
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        code = main(["server"])
+    output = buffer.getvalue()
+    assert code == 0
+    assert "EXP-OBJ3" in output
+    assert "=== server ===" in output
+
+
+def test_cli_rejects_unknown_experiment():
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        code = main(["figure7"])
+    assert code == 2
+    assert "unknown experiment" in buffer.getvalue()
+
+
+def test_cli_multiple_names():
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        code = main(["server", "staging"])
+    output = buffer.getvalue()
+    assert code == 0
+    assert "=== server ===" in output and "=== staging ===" in output
+
+
+def test_format_table_alignment_and_floats():
+    text = format_table(
+        ["name", "value"],
+        [["a", 1.234], ["long-name", 10]],
+        title="T",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "1.23" in text
+    assert "long-name" in text
+
+
+def test_format_table_empty_rows():
+    text = format_table(["col"], [])
+    assert "col" in text
