@@ -17,6 +17,39 @@ The engine advances all active flows in fluid *ticks*.  Each tick:
 Parallel GridFTP streams of one transfer share a :class:`SharedBytePool`
 (matching extended-block mode, where any stream can carry any block), so a
 transfer finishes when the pool drains, without straggler artifacts.
+
+Hot-path architecture
+---------------------
+
+The tick loop is the innermost loop of every experiment, so its data
+structures are cached rather than rebuilt per tick:
+
+* a slot-indexed link table and a link -> flows incidence map, rebuilt only
+  when the flow set changes (``open_flow`` / retirement / ``cancel_pool``);
+* per-flow precomputed path slot indices, lossy-link subsets, and NIC host
+  slots;
+* whole passes are skipped when provably inert: queueing-delay sums when
+  all queues are empty, NIC scaling when every host NIC is unbounded,
+  loss marking when nothing was dropped and no path link has a nonzero
+  ``loss_rate``.
+
+All skips are *exact*: they elide work only when the skipped pass would
+compute the identity (multiply by 1.0, add 0.0, draw no random numbers), so
+simulation outputs are bit-identical to the straightforward per-tick
+implementation.
+
+When the dynamics are provably linear — no lossy link on any active path,
+all queues empty and no link congested, every window buffer-clamped and no
+loss marks pending — the engine enters *stretched ticking*: it precomputes
+the next ``m`` tick boundaries, sleeps once across all of them, and settles
+deliveries and RTT-boundary window updates lazily (on wake, or on demand
+when a pool is observed or the flow set changes mid-stretch).  See
+DESIGN.md ("Adaptive tick stretching") for the invariants.
+
+Monitoring is kept out of the hot loop: per-tick link queue sampling is
+opt-in via ``link_monitor_interval`` (``None`` disables it, ``0.0`` restores
+the legacy one-sample-per-tick behaviour, a positive value decimates to at
+most one sample per link per interval).
 """
 
 from __future__ import annotations
@@ -26,7 +59,7 @@ from typing import Optional
 from repro.netsim.link import Link
 from repro.netsim.tcp import TcpParams, TcpState
 from repro.netsim.topology import Host, Topology
-from repro.simulation.kernel import Event, Simulator
+from repro.simulation.kernel import Event, Interrupt, Simulator
 from repro.simulation.monitor import Monitor
 from repro.simulation.randomness import RandomStreams
 
@@ -53,17 +86,48 @@ class SharedBytePool:
         if size <= 0:
             raise ValueError("transfer size must be positive")
         self.size = float(size)
-        self.remaining = float(size)
-        self.delivered = 0.0
+        self._remaining = float(size)
+        self._delivered = 0.0
         self.done: Event = sim.event()
         self.started_at: Optional[float] = None
         self.completed_at: Optional[float] = None
+        # Set by the engine that serves this pool; used to settle lazily
+        # evaluated stretched ticks before the pool is observed.
+        self._engine: Optional["NetworkEngine"] = None
+
+    def _settle(self) -> None:
+        engine = self._engine
+        if engine is not None and engine._stretch is not None:
+            engine._settle_stretch(engine.sim.now)
+
+    @property
+    def remaining(self) -> float:
+        """Bytes not yet delivered (settles any in-flight stretched ticks)."""
+        self._settle()
+        return self._remaining
+
+    @remaining.setter
+    def remaining(self, value: float) -> None:
+        self._settle()
+        self._remaining = value
+        # Forcing the supply (e.g. iperf tearing down its probe flows) must
+        # drop the engine out of any stretched window, whose plan assumed
+        # the old supply; it will notice the change on its next full tick.
+        engine = self._engine
+        if engine is not None and engine._stretch is not None:
+            engine._abort_stretch()
+
+    @property
+    def delivered(self) -> float:
+        """Bytes delivered so far (settles any in-flight stretched ticks)."""
+        self._settle()
+        return self._delivered
 
     def draw(self, amount: float) -> float:
         """Take up to ``amount`` bytes from the remaining supply."""
-        take = min(amount, self.remaining)
-        self.remaining -= take
-        self.delivered += take
+        take = min(amount, self._remaining)
+        self._remaining -= take
+        self._delivered += take
         return take
 
     @property
@@ -75,7 +139,14 @@ class SharedBytePool:
         if self.completed_at is None or self.started_at is None:
             raise RuntimeError("transfer not complete")
         elapsed = self.completed_at - self.started_at
-        return self.size / elapsed if elapsed > 0 else float("inf")
+        if elapsed <= 0:
+            # A transfer cannot complete in zero simulated time (every tick
+            # has positive duration); reaching this means the pool's
+            # timestamps were tampered with — refuse to report infinity.
+            raise RuntimeError(
+                f"transfer completed in non-positive elapsed time {elapsed!r}"
+            )
+        return self.size / elapsed
 
 
 class Flow:
@@ -92,9 +163,14 @@ class Flow:
         tcp: TcpState,
         rate_cap: float,
         name: str,
+        flow_id: Optional[int] = None,
     ):
-        Flow._counter += 1
-        self.id = Flow._counter
+        if flow_id is None:
+            # Back-compat fallback for flows built outside an engine; the
+            # engine always passes its own per-engine sequence number.
+            Flow._counter += 1
+            flow_id = Flow._counter
+        self.id = flow_id
         self.name = name or f"flow-{self.id}"
         self.src = src
         self.dst = dst
@@ -108,15 +184,41 @@ class Flow:
         self.timeout_pending = False
         self.next_round_at = 0.0
         self.monitor = Monitor()
+        # the monitor's counter dict, bound once for the delivery hot loop
+        self._mon_counters = self.monitor.counters
         # scratch fields written by the engine each tick
         self._rtt = self.base_rtt
         self._offered = 0.0
         self._achieved = 0.0
+        self._window_used = 0.0
+        # cached by NetworkEngine._rebuild_cache
+        self._path_slots: list[int] = []
+        self._lossy_links: tuple[Link, ...] = ()
+        self._lossy_survive: tuple[float, ...] = ()
+        self._src_slot = 0
+        self._dst_slot = 0
 
     @property
     def rtt(self) -> float:
         """Most recent effective RTT (propagation + queueing)."""
         return self._rtt
+
+
+class _Stretch:
+    """State of one stretched-tick window (see DESIGN.md)."""
+
+    __slots__ = ("bounds", "dt", "flows", "rates", "settled")
+
+    def __init__(self, bounds: list[float], dt: float,
+                 flows: list[Flow], rates: list[float]):
+        #: tick boundaries: ``bounds[j]`` is the start of stretched tick j,
+        #: ``bounds[-1]`` is the end of the window (next full-tick time).
+        self.bounds = bounds
+        self.dt = dt
+        self.flows = flows
+        self.rates = rates
+        #: number of stretched ticks already settled
+        self.settled = 0
 
 
 class NetworkEngine:
@@ -129,19 +231,54 @@ class NetworkEngine:
     #: Fraction of a tick's offered bytes that must be dropped before the
     #: loss is treated as a full-window timeout rather than a fast retransmit.
     TIMEOUT_DROP_FRACTION = 0.5
+    #: Upper bound on how many fine ticks one stretched window may span.
+    MAX_STRETCH_TICKS = 4096
 
-    def __init__(self, sim: Simulator, topology: Topology, seed: int = 0):
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        seed: int = 0,
+        adaptive_ticks: bool = True,
+        link_monitor_interval: Optional[float] = None,
+    ):
         self.sim = sim
         self.topology = topology
         self.random = RandomStreams(seed)
+        self.adaptive_ticks = adaptive_ticks
+        self.link_monitor_interval = link_monitor_interval
         self._flows: list[Flow] = []
         self._running = False
+        self._process = None
         self.monitor = Monitor()
+        #: full ticks executed / fine ticks settled analytically
+        self.tick_count = 0
+        self.settled_tick_count = 0
+        self._flow_seq = 0
+        self._loss_rng = None
+        # incidence caches, rebuilt lazily when the flow set changes
+        self._cache_dirty = True
+        self._links: list[Link] = []
+        self._link_flows: list[list[Flow]] = []
+        self._has_lossy = False
+        self._nic_bounded = False
+        self._src_nics: list[float] = []
+        self._dst_nics: list[float] = []
+        self._n_src_slots = 0
+        self._n_dst_slots = 0
+        # stretched-tick state
+        self._stretch: Optional[_Stretch] = None
+        self._realign_at = 0.0
+        self._next_link_sample = 0.0
+        # scratch flags describing the most recent full tick
+        self._tick_quiet = False
 
     # -- public API --------------------------------------------------------
     def new_pool(self, size: float) -> SharedBytePool:
         """A fresh byte pool for a transfer of ``size`` bytes."""
-        return SharedBytePool(self.sim, size)
+        pool = SharedBytePool(self.sim, size)
+        pool._engine = self
+        return pool
 
     def open_flow(
         self,
@@ -164,6 +301,10 @@ class NetworkEngine:
         path = self.topology.route(src_host, dst_host)
         if pool is None:
             pool = self.new_pool(float(nbytes))
+        elif pool._engine is None:
+            pool._engine = self
+        self._abort_stretch()
+        self._flow_seq += 1
         flow = Flow(
             src=src_host,
             dst=dst_host,
@@ -172,15 +313,17 @@ class NetworkEngine:
             tcp=TcpState(tcp or TcpParams()),
             rate_cap=rate_cap,
             name=name,
+            flow_id=self._flow_seq,
         )
         if pool.started_at is None:
             pool.started_at = self.sim.now
         flow.next_round_at = self.sim.now + max(flow.base_rtt, self.MIN_RTT)
         self._flows.append(flow)
+        self._cache_dirty = True
         self.monitor.count("flows_opened")
         if not self._running:
             self._running = True
-            self.sim.spawn(self._run(), name="network-engine")
+            self._process = self.sim.spawn(self._run(), name="network-engine")
         return flow
 
     def open_transfer(
@@ -218,135 +361,456 @@ class NetworkEngine:
         pool's ``done`` event fails with :class:`TransferAborted` carrying
         the bytes already delivered."""
         if pool.done.triggered:
-            raise ValueError("transfer already finished")
+            if pool.done.ok:
+                raise ValueError("transfer already completed")
+            raise ValueError("transfer already aborted")
+        self._abort_stretch()
         self._flows = [f for f in self._flows if f.pool is not pool]
+        self._cache_dirty = True
         pool.completed_at = self.sim.now
         self.monitor.count("transfers_aborted")
-        self.monitor.count("bytes_delivered_aborted", pool.delivered)
-        pool.done.fail(TransferAborted(pool.delivered, reason))
+        self.monitor.count("bytes_delivered_aborted", pool._delivered)
+        pool.done.fail(TransferAborted(pool._delivered, reason))
+
+    # -- incidence caches --------------------------------------------------
+    def _rebuild_cache(self) -> None:
+        """Recompute the link table, incidence map, and NIC slots.
+
+        The iteration order (flows in arrival order, path links in hop
+        order) deliberately reproduces the encounter order the per-tick
+        dict-building implementation produced, so aggregation and RNG draw
+        sequences are unchanged.
+        """
+        flows = self._flows
+        links: list[Link] = []
+        link_slot: dict[int, int] = {}
+        for f in flows:
+            slots = []
+            for link in f.path:
+                key = id(link)
+                slot = link_slot.get(key)
+                if slot is None:
+                    slot = len(links)
+                    link_slot[key] = slot
+                    links.append(link)
+                slots.append(slot)
+            f._path_slots = slots
+            f._lossy_links = tuple(l for l in f.path if l.loss_rate > 0)
+            # per-packet survival probability per lossy link, precomputed so
+            # the loss pass does not re-derive ``1 - loss_rate`` every tick
+            f._lossy_survive = tuple(1.0 - l.loss_rate for l in f._lossy_links)
+        link_flows: list[list[Flow]] = [[] for _ in links]
+        for f in flows:
+            for slot in f._path_slots:
+                link_flows[slot].append(f)
+        # NIC slots: out-demand is grouped by source host name, in-demand by
+        # destination host name (two independent slot spaces, as before).
+        src_slot: dict[str, int] = {}
+        dst_slot: dict[str, int] = {}
+        src_nics: list[float] = []
+        dst_nics: list[float] = []
+        for f in flows:
+            slot = src_slot.get(f.src.name)
+            if slot is None:
+                slot = len(src_nics)
+                src_slot[f.src.name] = slot
+                src_nics.append(f.src.nic_rate)
+            f._src_slot = slot
+            slot = dst_slot.get(f.dst.name)
+            if slot is None:
+                slot = len(dst_nics)
+                dst_slot[f.dst.name] = slot
+                dst_nics.append(f.dst.nic_rate)
+            f._dst_slot = slot
+        inf = float("inf")
+        self._links = links
+        self._link_flows = link_flows
+        self._has_lossy = any(f._lossy_links for f in flows)
+        self._src_nics = src_nics
+        self._dst_nics = dst_nics
+        self._n_src_slots = len(src_nics)
+        self._n_dst_slots = len(dst_nics)
+        self._nic_bounded = any(r != inf for r in src_nics) or any(
+            r != inf for r in dst_nics
+        )
+        self._cache_dirty = False
 
     # -- engine loop ---------------------------------------------------------
     def _run(self):
         while self._flows:
             dt = self._tick()
-            yield self.sim.timeout(dt)
+            stretch = self._plan_stretch(dt) if self.adaptive_ticks else None
+            if stretch is None:
+                yield self.sim.timeout(dt)
+                continue
+            self._stretch = stretch
+            try:
+                yield self.sim.timeout(stretch.bounds[-1] - self.sim.now)
+            except Interrupt:
+                # The flow set changed mid-window.  The mutator already
+                # settled elapsed ticks and cleared the stretch; re-align
+                # to the next fine tick boundary so the grid is preserved.
+                delay = self._realign_at - self.sim.now
+                if delay > 0:
+                    yield self.sim.timeout(delay)
+                continue
+            # Natural wake: settle the whole window, resume full ticking.
+            self._settle_stretch(self.sim.now)
+            self._stretch = None
         self._running = False
 
     def _tick(self) -> float:
+        if self._cache_dirty:
+            self._rebuild_cache()
         sim_now = self.sim.now
         flows = self._flows
-        rng = self.random["netsim.loss"]
+        links = self._links
+        self.tick_count += 1
+        min_rtt = self.MIN_RTT
 
-        # 1. effective RTTs and tick length
-        for f in flows:
-            queueing = sum(link.queueing_delay for link in f.path)
-            f._rtt = max(f.base_rtt + queueing, self.MIN_RTT)
-        dt = max(min(f._rtt for f in flows), self.MIN_TICK)
+        # 1. effective RTTs and tick length (dt = the smallest flow RTT)
+        queues_empty = True
+        for link in links:
+            if link.queue:
+                queues_empty = False
+                break
+        dt = float("inf")
+        if queues_empty:
+            # queueing sums are exactly 0.0 for every path
+            for f in flows:
+                base = f.base_rtt
+                rtt = base if base > min_rtt else min_rtt
+                f._rtt = rtt
+                if rtt < dt:
+                    dt = rtt
+        else:
+            qd = [link.queue / link.capacity for link in links]
+            for f in flows:
+                queueing = 0.0
+                for slot in f._path_slots:
+                    queueing += qd[slot]
+                rtt = f.base_rtt + queueing
+                if rtt < min_rtt:
+                    rtt = min_rtt
+                f._rtt = rtt
+                if rtt < dt:
+                    dt = rtt
+        if dt < self.MIN_TICK:
+            dt = self.MIN_TICK
 
-        # 2. offered rates
-        active_per_pool: dict[int, int] = {}
-        for f in flows:
-            active_per_pool[id(f.pool)] = active_per_pool.get(id(f.pool), 0) + 1
-        for f in flows:
-            offered = f.tcp.window / f._rtt
-            offered = min(offered, f.rate_cap)
-            # do not offer more than the pool can still supply this tick
-            offered = min(offered, f.pool.remaining / dt if dt > 0 else offered)
-            f._offered = offered
+        # 2. offered rates (window-limited, rate-capped, supply-limited),
+        # fused with the per-link demand accumulation when no NIC can bind
+        # (the scale pass would multiply by exactly 1.0).
+        nlinks = len(links)
+        link_demand = [0.0] * nlinks
+        if self._nic_bounded:
+            for f in flows:
+                tcp = f.tcp
+                cwnd = tcp.cwnd
+                buffer = tcp._buffer_f
+                f._window_used = window = cwnd if cwnd < buffer else buffer
+                offered = window / f._rtt
+                if offered > f.rate_cap:
+                    offered = f.rate_cap
+                # do not offer more than the pool can still supply this tick
+                supply = f.pool._remaining / dt
+                if offered > supply:
+                    offered = supply
+                f._offered = offered
+            # NIC caps: proportional scale-down at each endpoint.
+            out_demand = [0.0] * self._n_src_slots
+            in_demand = [0.0] * self._n_dst_slots
+            for f in flows:
+                out_demand[f._src_slot] += f._offered
+                in_demand[f._dst_slot] += f._offered
+            src_nics = self._src_nics
+            dst_nics = self._dst_nics
+            for f in flows:
+                scale = 1.0
+                src_demand = out_demand[f._src_slot]
+                nic = src_nics[f._src_slot]
+                if src_demand > nic:
+                    scale = min(scale, nic / src_demand)
+                dst_demand = in_demand[f._dst_slot]
+                nic = dst_nics[f._dst_slot]
+                if dst_demand > nic:
+                    scale = min(scale, nic / dst_demand)
+                f._offered *= scale
+            # 3. link demand (after NIC scaling)
+            for f in flows:
+                offered = f._offered
+                for slot in f._path_slots:
+                    link_demand[slot] += offered
+        else:
+            for f in flows:
+                tcp = f.tcp
+                cwnd = tcp.cwnd
+                buffer = tcp._buffer_f
+                f._window_used = window = cwnd if cwnd < buffer else buffer
+                offered = window / f._rtt
+                if offered > f.rate_cap:
+                    offered = f.rate_cap
+                supply = f.pool._remaining / dt
+                if offered > supply:
+                    offered = supply
+                f._offered = offered
+                for slot in f._path_slots:
+                    link_demand[slot] += offered
 
-        # 2b. NIC caps: proportional scale-down at each endpoint
-        out_demand: dict[str, float] = {}
-        in_demand: dict[str, float] = {}
-        for f in flows:
-            out_demand[f.src.name] = out_demand.get(f.src.name, 0.0) + f._offered
-            in_demand[f.dst.name] = in_demand.get(f.dst.name, 0.0) + f._offered
-        for f in flows:
-            scale = 1.0
-            src_demand = out_demand[f.src.name]
-            if src_demand > f.src.nic_rate:
-                scale = min(scale, f.src.nic_rate / src_demand)
-            dst_demand = in_demand[f.dst.name]
-            if dst_demand > f.dst.nic_rate:
-                scale = min(scale, f.dst.nic_rate / dst_demand)
-            f._offered *= scale
+        sample_links = (
+            self.link_monitor_interval is not None
+            and sim_now >= self._next_link_sample
+        )
+        congested = False
+        dropped_any = False
+        link_scale = [1.0] * nlinks
+        link_dropped = [0.0] * nlinks
+        for slot in range(nlinks):
+            link = links[slot]
+            demand = link_demand[slot] + link.cross_traffic
+            if demand > link.capacity:
+                congested = True
+                link_scale[slot] = link.capacity / demand
+                dropped = link.advance_queue(demand, dt)
+                if dropped > 0.0:
+                    dropped_any = True
+                    link_dropped[slot] = dropped
+            elif link.queue:
+                # draining: advance_queue shrinks the queue, cannot drop
+                link.advance_queue(demand, dt)
+            # else: advance_queue would be a no-op (queue stays 0, no drop)
+            if sample_links:
+                link.monitor.timeseries("queue").sample(sim_now, link.queue)
+        if sample_links:
+            self._next_link_sample = sim_now + self.link_monitor_interval
 
-        # 3. link contention: demand, queue evolution, bottleneck share
-        link_demand: dict[int, float] = {}
-        link_flows: dict[int, list[Flow]] = {}
-        links: dict[int, Link] = {}
-        for f in flows:
-            for link in f.path:
-                key = id(link)
-                links[key] = link
-                link_demand[key] = link_demand.get(key, 0.0) + f._offered
-                link_flows.setdefault(key, []).append(f)
-
-        link_scale: dict[int, float] = {}
-        link_dropped: dict[int, float] = {}
-        for key, link in links.items():
-            demand = link_demand[key] + link.cross_traffic
-            link_scale[key] = 1.0 if demand <= link.capacity else link.capacity / demand
-            link_dropped[key] = link.advance_queue(demand, dt)
-            link.monitor.timeseries("queue").sample(sim_now, link.queue)
-
-        for f in flows:
-            scale = min((link_scale[id(link)] for link in f.path), default=1.0)
-            f._achieved = f._offered * scale
+        if congested:
+            for f in flows:
+                scale = 1.0
+                for slot in f._path_slots:
+                    s = link_scale[slot]
+                    if s < scale:
+                        scale = s
+                f._achieved = f._offered * scale
+        else:
+            # every scale is exactly 1.0
+            for f in flows:
+                f._achieved = f._offered
 
         # 4. loss marks: queue overflow + random per-packet loss
-        for key, link in links.items():
-            dropped = link_dropped[key]
-            if dropped <= 0:
-                continue
-            demand = link_demand[key] + link.cross_traffic
-            drop_fraction = dropped / max(demand * dt, 1e-12)
-            for f in link_flows[key]:
-                packets = f._offered * dt / f.tcp.params.mss
-                if packets <= 0:
+        rng = self._loss_rng
+        if rng is None and (dropped_any or self._has_lossy):
+            rng = self._loss_rng = self.random["netsim.loss"]
+        if dropped_any:
+            timeout_fraction = self.TIMEOUT_DROP_FRACTION
+            link_flows = self._link_flows
+            for slot in range(nlinks):
+                dropped = link_dropped[slot]
+                if dropped <= 0:
                     continue
-                p_hit = 1.0 - (1.0 - min(drop_fraction, 1.0)) ** packets
-                if rng.random() < p_hit:
-                    f.loss_pending = True
-                    if drop_fraction >= self.TIMEOUT_DROP_FRACTION:
-                        f.timeout_pending = True
-        for f in flows:
-            if f._achieved <= 0:
-                continue
-            packets = f._achieved * dt / f.tcp.params.mss
-            for link in f.path:
-                if link.loss_rate > 0:
-                    p_hit = 1.0 - (1.0 - link.loss_rate) ** packets
+                demand = link_demand[slot] + links[slot].cross_traffic
+                drop_fraction = dropped / max(demand * dt, 1e-12)
+                capped = drop_fraction if drop_fraction < 1.0 else 1.0
+                for f in link_flows[slot]:
+                    packets = f._offered * dt / f.tcp._mss_f
+                    if packets <= 0:
+                        continue
+                    p_hit = 1.0 - (1.0 - capped) ** packets
                     if rng.random() < p_hit:
                         f.loss_pending = True
+                        if drop_fraction >= timeout_fraction:
+                            f.timeout_pending = True
+        if self._has_lossy:
+            # Batch the per-(flow, lossy link) uniform draws: a single
+            # ``Generator.random(n)`` consumes the identical stream values
+            # the equivalent sequence of scalar draws would.
+            targets = []
+            n_draws = 0
+            for f in flows:
+                if f._achieved <= 0 or not f._lossy_survive:
+                    continue
+                targets.append(f)
+                n_draws += len(f._lossy_survive)
+            if n_draws:
+                draws = rng.random(n_draws).tolist() if n_draws > 1 else (
+                    rng.random(),
+                )
+                i = 0
+                for f in targets:
+                    packets = f._achieved * dt / f.tcp._mss_f
+                    for survive in f._lossy_survive:
+                        p_hit = 1.0 - survive ** packets
+                        if draws[i] < p_hit:
+                            f.loss_pending = True
+                        i += 1
 
-        # 5. delivery
-        finished_pools: list[SharedBytePool] = []
-        for f in flows:
-            taken = f.pool.draw(f._achieved * dt)
-            f.delivered += taken
-            if taken:
-                f.monitor.count("bytes", taken)
+        # 5+6. delivery and RTT-boundary window updates, one pass per flow.
+        # Interleaving is exact: deliveries touch only pools (updated in the
+        # same flow order), window updates touch only per-flow TCP state.
+        tick_end = sim_now + dt
+        round_edge = tick_end + 1e-12
+        any_exhausted = False
         for f in flows:
             pool = f.pool
-            if pool.exhausted and pool.completed_at is None:
-                pool.completed_at = sim_now + dt
-                finished_pools.append(pool)
-
-        # 6. RTT-boundary window updates
-        tick_end = sim_now + dt
-        for f in flows:
-            if tick_end + 1e-12 >= f.next_round_at:
+            amount = f._achieved * dt
+            remaining = pool._remaining
+            taken = amount if amount <= remaining else remaining
+            pool._remaining = remaining - taken
+            pool._delivered += taken
+            f.delivered += taken
+            if taken:
+                counters = f._mon_counters
+                counters["bytes"] = counters.get("bytes", 0.0) + taken
+            if pool._remaining <= 1e-9:
+                any_exhausted = True
+            if round_edge >= f.next_round_at:
                 f.tcp.on_round(loss=f.loss_pending, timeout=f.timeout_pending)
                 f.loss_pending = False
                 f.timeout_pending = False
                 f.next_round_at = tick_end + f._rtt
+        finished_pools: list[SharedBytePool] = []
+        if any_exhausted:
+            for f in flows:
+                pool = f.pool
+                if pool._remaining <= 1e-9 and pool.completed_at is None:
+                    pool.completed_at = tick_end
+                    finished_pools.append(pool)
 
         # 7. retire flows of finished pools
         if finished_pools:
             done_ids = {id(p) for p in finished_pools}
             self._flows = [f for f in flows if id(f.pool) not in done_ids]
+            self._cache_dirty = True
             for pool in finished_pools:
                 self.monitor.count("transfers_completed")
                 self.monitor.count("bytes_delivered", pool.size)
                 pool.done.succeed(pool)
+        self._tick_quiet = queues_empty and not congested
         return dt
+
+    # -- adaptive tick stretching ------------------------------------------
+    def _plan_stretch(self, dt: float) -> Optional[_Stretch]:
+        """Decide whether the coming ticks are provably linear.
+
+        Returns a :class:`_Stretch` spanning ``m >= 2`` fine ticks when, for
+        every one of them, a full tick would compute exactly what the
+        settlement loop computes: constant per-flow rates, no queue
+        evolution, no loss marks, no random draws, and window updates that
+        cannot change the effective (buffer-clamped) window.
+        """
+        flows = self._flows
+        if not flows or self._has_lossy or not self._tick_quiet:
+            return None
+        if self._cache_dirty:
+            # flow set changed during this tick (a pool finished)
+            return None
+        for f in flows:
+            if f.loss_pending or f.timeout_pending:
+                return None
+            tcp = f.tcp
+            if tcp.cwnd < tcp.params.buffer:
+                return None  # window not clamped: rounds would change rates
+            if tcp.window != f._window_used:
+                # an RTT boundary inside the planning tick grew the window;
+                # the snapshot rate would be stale for the very next tick
+                return None
+
+        # Pool margins: stop stretching well before any pool's remaining
+        # supply could clamp an offered rate or complete a transfer.
+        consumption: dict[int, float] = {}
+        max_unclamped: dict[int, float] = {}
+        for f in flows:
+            key = id(f.pool)
+            consumption[key] = consumption.get(key, 0.0) + f._achieved * dt
+            unclamped = f.tcp.window / f._rtt
+            if unclamped > f.rate_cap:
+                unclamped = f.rate_cap
+            draw = unclamped * dt
+            if draw > max_unclamped.get(key, 0.0):
+                max_unclamped[key] = draw
+        budget = self.MAX_STRETCH_TICKS
+        pools = {id(f.pool): f.pool for f in flows}
+        for key, per_tick in consumption.items():
+            if per_tick <= 0.0:
+                continue
+            headroom = pools[key]._remaining - max_unclamped[key]
+            m_pool = int(headroom / per_tick) - 1
+            if m_pool < budget:
+                budget = m_pool
+        if budget < 2:
+            return None
+
+        # Tick boundaries, accumulated exactly as the kernel's repeated
+        # ``now + dt`` scheduling would accumulate them.
+        bounds = [self.sim.now + dt]
+        b = bounds[0]
+        for _ in range(budget):
+            b = b + dt
+            bounds.append(b)
+        return _Stretch(
+            bounds=bounds,
+            dt=dt,
+            flows=list(flows),
+            rates=[f._achieved for f in flows],
+        )
+
+    def _settle_stretch(self, limit: float) -> None:
+        """Replay stretched ticks whose start time is at or before ``limit``.
+
+        Each replayed tick performs exactly the delivery and RTT-boundary
+        passes a full tick would have performed, in the same order with the
+        same floating-point operations; all other passes are identities
+        under the stretch preconditions.
+        """
+        st = self._stretch
+        if st is None:
+            return
+        bounds = st.bounds
+        flows = st.flows
+        rates = st.rates
+        dt = st.dt
+        i = st.settled
+        n = len(bounds) - 1
+        nflows = len(flows)
+        while i < n and bounds[i] <= limit:
+            tick_end = bounds[i + 1]
+            for k in range(nflows):
+                f = flows[k]
+                pool = f.pool
+                amount = rates[k] * dt
+                remaining = pool._remaining
+                taken = amount if amount <= remaining else remaining
+                pool._remaining = remaining - taken
+                pool._delivered += taken
+                f.delivered += taken
+                if taken:
+                    counters = f._mon_counters
+                    counters["bytes"] = counters.get("bytes", 0.0) + taken
+                if tick_end + 1e-12 >= f.next_round_at:
+                    f.tcp.on_round(loss=False)
+                    f.next_round_at = tick_end + f._rtt
+            i += 1
+        self.settled_tick_count += i - st.settled
+        st.settled = i
+
+    def _abort_stretch(self) -> None:
+        """Settle a stretched window up to now and wake the engine.
+
+        Called before any mutation of the flow set so that delivered byte
+        counts reflect exactly the fine ticks that have elapsed, and so the
+        engine re-plans against the new flow set from the next boundary.
+        """
+        st = self._stretch
+        if st is None:
+            return
+        now = self.sim.now
+        self._settle_stretch(now)
+        bounds = st.bounds
+        if st.settled < len(bounds) - 1:
+            self._realign_at = bounds[st.settled]
+        else:
+            self._realign_at = bounds[-1]
+        self._stretch = None
+        # The engine is suspended in the stretched timeout; wake it so it
+        # re-plans against the mutated flow set from the next boundary.
+        self._process.interrupt("flow set changed")

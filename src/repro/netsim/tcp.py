@@ -53,11 +53,17 @@ class TcpState:
         self.rounds = 0
         self.losses = 0
         self.timeouts = 0
+        # hot-path constants (params is frozen, so these cannot go stale)
+        self._buffer_f = float(params.buffer)
+        self._buffer2 = 2.0 * self._buffer_f
+        self._mss_f = float(params.mss)
 
     @property
     def window(self) -> float:
         """Effective send window in bytes: min(cwnd, socket buffer)."""
-        return min(self.cwnd, float(self.params.buffer))
+        cwnd = self.cwnd
+        buffer = self._buffer_f
+        return cwnd if cwnd < buffer else buffer
 
     @property
     def in_slow_start(self) -> bool:
@@ -71,27 +77,29 @@ class TcpState:
         ``timeout`` marks loss of an entire window, forcing a slow-start
         restart.
         """
-        mss = self.params.mss
+        mss = self._mss_f
         self.rounds += 1
         if timeout:
             self.timeouts += 1
             self.ssthresh = max(self.window / 2.0, 2.0 * mss)
-            self.cwnd = float(self.params.initial_cwnd_segments * mss)
+            self.cwnd = float(self.params.initial_cwnd_segments * self.params.mss)
             return
         if loss:
             self.losses += 1
             self.ssthresh = max(self.window / 2.0, 2.0 * mss)
             self.cwnd = self.ssthresh
             return
-        if self.in_slow_start:
+        cwnd = self.cwnd
+        if cwnd < self.ssthresh:
             # Exponential growth, but never overshoot past ssthresh in a
             # single round by more than the doubling allows.
-            self.cwnd = min(self.cwnd * 2.0, max(self.ssthresh, self.cwnd + mss))
+            cwnd = min(cwnd * 2.0, max(self.ssthresh, cwnd + mss))
         else:
-            self.cwnd += mss
+            cwnd += mss
         # cwnd is never allowed to grow without bound past what the buffer
         # can use: growing it further would only inflate the next halving.
-        self.cwnd = min(self.cwnd, 2.0 * float(self.params.buffer))
+        buffer2 = self._buffer2
+        self.cwnd = cwnd if cwnd < buffer2 else buffer2
 
     def expected_slow_start_rounds(self) -> int:
         """Rounds needed to reach the buffer clamp with no loss (diagnostic)."""

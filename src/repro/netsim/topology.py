@@ -52,6 +52,7 @@ class Topology:
     def __init__(self) -> None:
         self._graph = nx.Graph()
         self._hosts: dict[str, Host] = {}
+        self._route_cache: dict[tuple[str, str], list[Link]] = {}
 
     # -- construction ------------------------------------------------------
     def add_host(self, host: Host | str, **kwargs) -> Host:
@@ -74,6 +75,7 @@ class Topology:
         if self._graph.has_edge(name_a, name_b):
             raise ValueError(f"hosts {name_a!r} and {name_b!r} already connected")
         self._graph.add_edge(name_a, name_b, link=link, weight=link.delay)
+        self._route_cache.clear()
         return link
 
     # -- lookup ------------------------------------------------------------
@@ -102,13 +104,21 @@ class Topology:
                 raise KeyError(f"unknown host {name!r}")
         if name_src == name_dst:
             return []
-        try:
-            nodes = nx.shortest_path(self._graph, name_src, name_dst, weight="weight")
-        except nx.NetworkXNoPath:
-            raise RouteError(f"no route from {name_src!r} to {name_dst!r}") from None
-        return [
-            self._graph.edges[u, v]["link"] for u, v in zip(nodes, nodes[1:])
-        ]
+        cached = self._route_cache.get((name_src, name_dst))
+        if cached is None:
+            try:
+                nodes = nx.shortest_path(
+                    self._graph, name_src, name_dst, weight="weight"
+                )
+            except nx.NetworkXNoPath:
+                raise RouteError(
+                    f"no route from {name_src!r} to {name_dst!r}"
+                ) from None
+            cached = [
+                self._graph.edges[u, v]["link"] for u, v in zip(nodes, nodes[1:])
+            ]
+            self._route_cache[(name_src, name_dst)] = cached
+        return list(cached)
 
     def base_rtt(self, src: Host | str, dst: Host | str) -> float:
         """Round-trip propagation delay along the route (no queueing)."""

@@ -1,0 +1,87 @@
+"""The process-parallel sweep runner: ordering, fallbacks, equivalence."""
+
+import os
+
+import pytest
+
+from repro.experiments import buffer_sweep, figure5, object_vs_file
+from repro.experiments.parallel import SERIAL_ENV, default_processes, run_sweep
+
+
+def _square(x):
+    return x * x
+
+
+def _fail(x):
+    raise RuntimeError(f"boom {x}")
+
+
+def test_results_follow_point_order_serial():
+    assert run_sweep(_square, [3, 1, 2], processes=1) == [9, 1, 4]
+
+
+def test_results_follow_point_order_parallel():
+    points = list(range(20))
+    assert run_sweep(_square, points, processes=4) == [x * x for x in points]
+
+
+def test_parallel_equals_serial():
+    points = list(range(7))
+    assert run_sweep(_square, points, processes=3) == run_sweep(
+        _square, points, processes=1
+    )
+
+
+def test_empty_and_single_point_sweeps():
+    assert run_sweep(_square, [], processes=4) == []
+    assert run_sweep(_square, [5], processes=4) == [25]
+
+
+def test_serial_env_forces_serial(monkeypatch):
+    calls = []
+
+    def record(x):
+        calls.append(x)
+        return x
+
+    monkeypatch.setenv(SERIAL_ENV, "1")
+    assert run_sweep(record, [1, 2, 3], processes=8) == [1, 2, 3]
+    # the worker ran in-process: its side effects are visible here
+    assert calls == [1, 2, 3]
+
+
+def test_default_processes_env_override(monkeypatch):
+    monkeypatch.setenv("REPRO_SWEEP_PROCESSES", "3")
+    assert default_processes() == 3
+    monkeypatch.setenv("REPRO_SWEEP_PROCESSES", "0")
+    assert default_processes() == 1
+    monkeypatch.setenv("REPRO_SWEEP_PROCESSES", "not-a-number")
+    assert default_processes() == (os.cpu_count() or 1)
+
+
+def test_worker_exceptions_propagate():
+    with pytest.raises(RuntimeError, match="boom"):
+        run_sweep(_fail, [1, 2], processes=2)
+    with pytest.raises(RuntimeError, match="boom"):
+        run_sweep(_fail, [1, 2], processes=1)
+
+
+def test_figure5_parallel_is_identical_to_serial():
+    kwargs = dict(file_sizes_mb=(1, 25), stream_counts=(1, 2, 3))
+    assert figure5.run(processes=2, **kwargs) == figure5.run(
+        processes=1, **kwargs
+    )
+
+
+def test_buffer_sweep_parallel_is_identical_to_serial():
+    kwargs = dict(file_size_mb=10, buffer_sizes=(16384, 65536, 262144))
+    assert buffer_sweep.run(processes=2, **kwargs) == buffer_sweep.run(
+        processes=1, **kwargs
+    )
+
+
+def test_object_vs_file_parallel_is_identical_to_serial():
+    kwargs = dict(n_events=5000, fractions=(0.01, 0.5, 1.0))
+    assert object_vs_file.run(processes=2, **kwargs) == object_vs_file.run(
+        processes=1, **kwargs
+    )

@@ -1,0 +1,33 @@
+"""The figure sweeps are bit-identical to the recorded seed outputs.
+
+``data/figures_seed2001.json`` was recorded from the pre-optimization
+engine (the growth seed) with the default seeds.  Every engine fast-path
+change must keep these numbers *exactly* — equality here is ``==`` on
+floats, not approx: the optimizations are required to be bit-exact (same
+RNG draw order, same float accumulation order).
+"""
+
+import json
+from pathlib import Path
+
+from repro.experiments import figure5, figure6
+
+DATA = Path(__file__).parent / "data" / "figures_seed2001.json"
+
+
+def _stringify(series: dict[int, dict[int, float]]) -> dict:
+    """Match the JSON record's string keys without touching the values."""
+    return {
+        str(size): {str(streams): rate for streams, rate in curve.items()}
+        for size, curve in series.items()
+    }
+
+
+def test_figure5_matches_recorded_seed_output():
+    recorded = json.loads(DATA.read_text())["figure5"]
+    assert _stringify(figure5.run()) == recorded
+
+
+def test_figure6_matches_recorded_seed_output():
+    recorded = json.loads(DATA.read_text())["figure6"]
+    assert _stringify(figure6.run()) == recorded

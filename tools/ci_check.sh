@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# CI gate: tier-1 tests, the determinism record, an engine microbench
+# smoke run, and (when available) ruff.
+#
+#   tools/ci_check.sh
+#
+# Exits non-zero on the first failure.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo "== determinism: figure5/figure6 vs recorded seed outputs =="
+python -m pytest -x -q tests/experiments/test_recorded_determinism.py
+
+echo "== engine microbench (smoke) =="
+python benchmarks/bench_engine_microbench.py --smoke > /dev/null
+python tools/perf_report.py --smoke --output - > /dev/null
+
+if command -v ruff > /dev/null 2>&1; then
+    echo "== ruff =="
+    ruff check src tests benchmarks tools
+else
+    echo "== ruff not installed; skipping lint =="
+fi
+
+echo "ci_check: all gates passed"

@@ -1,0 +1,122 @@
+"""Regenerate ``BENCH_netsim.json``: engine + sweep performance record.
+
+Times the flow-engine microbench scenarios and the Figure 5/6 sweep
+harnesses on the current tree, compares them against the recorded
+pre-optimization (seed) numbers, and writes the combined before/after
+record to ``BENCH_netsim.json`` at the repo root::
+
+    PYTHONPATH=src python tools/perf_report.py [--smoke] [--output PATH]
+
+``--smoke`` runs shrunk scenarios and skips the figure sweeps (used by
+``tools/ci_check.sh`` as a fast sanity gate; it does not overwrite the
+committed record unless ``--output`` says so).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+import bench_engine_microbench  # noqa: E402
+from repro.experiments import figure5, figure6  # noqa: E402
+
+#: Seed-tree numbers recorded with this same protocol (median of 5 after a
+#: warm-up run, single CPU) before the engine fast path landed.  The fine
+#: tick counts of both trees are identical (the optimization is
+#: bit-exact), so baseline ticks/sec derive from the same tick totals.
+BASELINE = {
+    "recorded": True,
+    "figure5_s": 0.3550,
+    "figure6_s": 0.2663,
+    "micro_lossy_s": 0.04147,
+    "micro_clean_s": 0.08637,
+}
+
+MEDIAN_REPS = 5
+
+
+def _median_wall(fn) -> float:
+    times = []
+    for _ in range(MEDIAN_REPS):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return statistics.median(times)
+
+
+def build_report(smoke: bool = False) -> dict:
+    """Measure the current tree and assemble the before/after record."""
+    micro = bench_engine_microbench.run_all(smoke=smoke)
+    by_name = {s["scenario"]: s for s in micro}
+    report: dict = {
+        "generated_by": "tools/perf_report.py",
+        "protocol": {
+            "figures": f"median of {MEDIAN_REPS} runs after one warm-up",
+            "micro": "bench_engine_microbench.run_all() scenario walls",
+            "baseline": "seed tree measured with the identical protocol",
+        },
+        "baseline": BASELINE,
+        "current": {"micro": micro},
+        "speedup": {},
+    }
+    if not smoke:
+        figure5.run()  # warm imports and caches outside the timed region
+        fig5 = _median_wall(figure5.run)
+        fig6 = _median_wall(figure6.run)
+        report["current"]["figure5_s"] = fig5
+        report["current"]["figure6_s"] = fig6
+        report["speedup"]["figure5"] = BASELINE["figure5_s"] / fig5
+        report["speedup"]["figure6"] = BASELINE["figure6_s"] / fig6
+        report["speedup"]["figures_combined"] = (
+            (BASELINE["figure5_s"] + BASELINE["figure6_s"]) / (fig5 + fig6)
+        )
+        lossy = by_name.get("lossy_testbed")
+        clean = by_name.get("clean_stretch")
+        if lossy:
+            report["speedup"]["micro_lossy"] = (
+                BASELINE["micro_lossy_s"] / lossy["wall_s"]
+            )
+        if clean:
+            report["speedup"]["micro_clean"] = (
+                BASELINE["micro_clean_s"] / clean["wall_s"]
+            )
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast sanity run; no figure sweeps, no file "
+                             "write unless --output is given")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="where to write the JSON record "
+                             "(default: BENCH_netsim.json at the repo root; "
+                             "'-' prints to stdout only)")
+    args = parser.parse_args(argv)
+    report = build_report(smoke=args.smoke)
+    text = json.dumps(report, indent=2, sort_keys=True) + "\n"
+    if args.output == Path("-"):
+        print(text, end="")
+        return 0
+    if args.output is not None:
+        args.output.write_text(text)
+        print(f"wrote {args.output}")
+    elif not args.smoke:
+        target = REPO_ROOT / "BENCH_netsim.json"
+        target.write_text(text)
+        print(f"wrote {target}")
+    for name, factor in sorted(report["speedup"].items()):
+        print(f"  {name}: {factor:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
