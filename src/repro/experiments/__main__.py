@@ -1,8 +1,14 @@
 """CLI: ``python -m repro.experiments [name ...|all]`` regenerates the
-paper's figures/tables as text reports."""
+paper's figures/tables as text reports.
+
+``--trace-json=PATH`` additionally dumps the request-trace log (the span
+tree of every RPC, GridFTP command, transfer, and catalog update) from
+experiments that support it.
+"""
 
 from __future__ import annotations
 
+import inspect
 import sys
 
 from repro.experiments import EXPERIMENTS
@@ -10,7 +16,14 @@ from repro.experiments import EXPERIMENTS
 
 def main(argv: list[str]) -> int:
     """Entry point: run the named experiments (or all) and print reports."""
-    names = argv or ["all"]
+    trace_path: str | None = None
+    names: list[str] = []
+    for arg in argv:
+        if arg.startswith("--trace-json="):
+            trace_path = arg.split("=", 1)[1]
+        else:
+            names.append(arg)
+    names = names or ["all"]
     if names == ["all"]:
         names = list(EXPERIMENTS)
     unknown = [n for n in names if n not in EXPERIMENTS]
@@ -21,7 +34,13 @@ def main(argv: list[str]) -> int:
     for name in names:
         module = EXPERIMENTS[name]
         print(f"=== {name} ===")
-        module.main()
+        kwargs = {}
+        if (
+            trace_path is not None
+            and "trace_path" in inspect.signature(module.main).parameters
+        ):
+            kwargs["trace_path"] = trace_path
+        module.main(**kwargs)
     return 0
 
 

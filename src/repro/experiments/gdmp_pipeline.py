@@ -24,8 +24,12 @@ class PipelineRuns:
     with_corruption: object  # ReplicationReport after an injected corruption
 
 
-def run(size_mb: int = 25, seed: int = 2001) -> PipelineRuns:
-    """Replicate with no failure, an injected disconnect, and an injected corruption."""
+def run(size_mb: int = 25, seed: int = 2001,
+        trace_path: str | None = None) -> PipelineRuns:
+    """Replicate with no failure, an injected disconnect, and an injected
+    corruption.  With ``trace_path`` set, the grid's request-trace log
+    (every RPC, GridFTP command, transfer, and catalog update span) is
+    dumped there as JSON."""
     grid = DataGrid(
         [
             GdmpConfig("cern", tcp_buffer=TUNED_BUFFER_BYTES, parallel_streams=3),
@@ -44,6 +48,9 @@ def run(size_mb: int = 25, seed: int = 2001) -> PipelineRuns:
     with_abort = grid.run(until=anl.client.replicate("abort.db"))
     cern.gridftp_server.failures.corrupt_next("/storage/corrupt.db")
     with_corruption = grid.run(until=anl.client.replicate("corrupt.db"))
+    if trace_path is not None:
+        grid.tracelog.dump_json(trace_path)
+        print(f"wrote {len(grid.tracelog)} trace spans to {trace_path}")
     return PipelineRuns(
         size_mb=size_mb,
         clean=clean,
@@ -86,6 +93,6 @@ def report(result: PipelineRuns) -> None:
     print()
 
 
-def main() -> None:
+def main(trace_path: str | None = None) -> None:
     """Run and report with default parameters."""
-    report(run())
+    report(run(trace_path=trace_path))

@@ -71,9 +71,6 @@ def gridftp_testbed(params: TestbedParams | None = None) -> GridFTPTestbed:
     )
 
 
-_file_counter = [0]
-
-
 def extended_get(
     testbed: GridFTPTestbed,
     size_bytes: float,
@@ -83,8 +80,7 @@ def extended_get(
     """One measurement: fetch a ``size_bytes`` file with the given stream
     count and socket buffer; returns the achieved rate in Mbps (transfer
     time as the extended_get program reports it)."""
-    _file_counter[0] += 1
-    tag = _file_counter[0]
+    tag = testbed.sim.next_serial("testbed-file")
     remote = f"/store/test{tag}.dat"
     local = f"/recv/test{tag}.dat"
     testbed.server_fs.create(remote, size_bytes)

@@ -29,6 +29,7 @@ from repro.gdmp.request_manager import GdmpError, RemoteError, RequestClient
 from repro.gdmp.server import GdmpServer
 from repro.gdmp.storage_manager import StorageManager
 from repro.netsim.topology import Topology
+from repro.services.tracelog import TraceLog
 from repro.simulation.kernel import Process, Simulator
 from repro.simulation.monitor import Monitor
 from repro.storage.filesystem import StoredFile
@@ -76,6 +77,7 @@ class GdmpClient:
         server: GdmpServer,
         plugins: Optional[PluginRegistry] = None,
         site_runtime=None,
+        tracelog: Optional[TraceLog] = None,
     ):
         self.sim = sim
         self.site = site
@@ -88,9 +90,27 @@ class GdmpClient:
         self.server = server
         self.plugins = plugins or PluginRegistry()
         self.site_runtime = site_runtime  # GdmpSite, for plugin hooks
+        self.tracelog = tracelog
         self.monitor = Monitor()
         self._replicating: set[str] = set()
         server.client = self
+
+    def _root_span(self, name: str, **attrs):
+        """Open a span for a top-level client command and make it the
+        current process's ambient context, so every nested call — RPC,
+        GridFTP control, transfer flows, catalog update — joins its trace."""
+        if self.tracelog is None:
+            return None
+        span = self.tracelog.begin(
+            name,
+            parent=self.sim.current_context,
+            kind="local",
+            host=self.site,
+            service="gdmp-client",
+            **attrs,
+        )
+        self.sim.active_process.context = span.context
+        return span
 
     # -- service 1: subscribe -------------------------------------------------
     def subscribe_to(self, producer_site: str,
@@ -117,6 +137,7 @@ class GdmpClient:
         the replica catalog and notify all subscribers."""
 
         def run():
+            span = self._root_span("gdmp:publish", lfn=lfn)
             stored = self.storage.fs.stat(path)
             yield self.catalog.publish(
                 self.site,
@@ -142,6 +163,8 @@ class GdmpClient:
                     {"producer": self.site, "lfns": [lfn],
                      "attributes": file_attrs},
                 )
+            if span is not None:
+                self.tracelog.finish(span, "ok")
             return lfn
 
         return self.sim.spawn(run(), name=f"gdmp-publish {lfn}")
@@ -223,15 +246,23 @@ class GdmpClient:
 
         def run():
             started = self.sim.now
-            if lfn in self._replicating:
-                raise GdmpError(
-                    f"{self.site} is already replicating {lfn!r}"
-                )
-            self._replicating.add(lfn)
+            span = self._root_span("gdmp:replicate", lfn=lfn)
             try:
-                result = yield from replicate_body(started)
-            finally:
-                self._replicating.discard(lfn)
+                if lfn in self._replicating:
+                    raise GdmpError(
+                        f"{self.site} is already replicating {lfn!r}"
+                    )
+                self._replicating.add(lfn)
+                try:
+                    result = yield from replicate_body(started)
+                finally:
+                    self._replicating.discard(lfn)
+            except BaseException as exc:
+                if span is not None:
+                    self.tracelog.finish(span, "error", detail=str(exc))
+                raise
+            if span is not None:
+                self.tracelog.finish(span, "ok")
             return result
 
         def replicate_body(started):

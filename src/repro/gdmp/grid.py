@@ -33,6 +33,7 @@ from repro.objectdb.federation import Federation
 from repro.security.ca import CertificateAuthority
 from repro.security.credentials import new_user_credential
 from repro.security.gridmap import GridMap
+from repro.services.tracelog import TraceLog
 from repro.simulation.kernel import Simulator
 from repro.storage.diskpool import DiskPool
 from repro.storage.filesystem import FileSystem
@@ -94,6 +95,7 @@ class DataGrid:
             raise ValueError(f"catalog host {self.catalog_host!r} is not a site")
 
         self.sim = Simulator()
+        self.tracelog = TraceLog(self.sim)
         self.topology = Topology()
         self.engine_seed = seed
         self.ca = CertificateAuthority()
@@ -165,14 +167,19 @@ class DataGrid:
             credential,
             [self.ca],
             self.gridmap,
+            tracelog=self.tracelog,
         )
         gridftp_client = GridFTPClient(
-            self.sim, self.msgnet, host, credential, filesystem=fs
+            self.sim, self.msgnet, host, credential, filesystem=fs,
+            tracelog=self.tracelog,
         )
         request_server = RequestServer(
-            self.sim, self.msgnet, host, credential, [self.ca], self.gridmap
+            self.sim, self.msgnet, host, credential, [self.ca], self.gridmap,
+            tracelog=self.tracelog,
         )
-        request_client = RequestClient(self.sim, self.msgnet, host, credential)
+        request_client = RequestClient(
+            self.sim, self.msgnet, host, credential, tracelog=self.tracelog
+        )
         storage = StorageManager(self.sim, hrm)
         mover = DataMover(
             self.sim,
@@ -215,6 +222,7 @@ class DataGrid:
             site.server,
             plugins=PluginRegistry(),
             site_runtime=site,
+            tracelog=self.tracelog,
         )
 
     # -- access --------------------------------------------------------------------

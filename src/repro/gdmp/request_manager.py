@@ -7,28 +7,44 @@ Manager provides a limited Remote Procedure Call functionality."  And:
 "Every client request to a GDMP server is authenticated and authorized by a
 security service."
 
-Every request carries the caller's proxy certificate chain; the server
-verifies the chain against its trusted CAs and maps the identity through
-the gridmap before dispatching to the registered handler.
+This module is a thin protocol profile over the shared service bus
+(:mod:`repro.services`): the server is a :class:`ServiceEndpoint` whose
+middleware chain counts operations, verifies the caller's proxy chain
+against the trusted CAs, maps the identity through the gridmap, and sheds
+deadline-expired requests; the client is a :class:`ServiceClient` that
+attaches the proxy chain to every call and maps faults/timeouts to
+:class:`RemoteError` / :class:`RequestTimeout`.
 """
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import Any, Callable, Generator, Optional
 
 from repro.netsim.channels import MessageNetwork
 from repro.netsim.topology import Host
-from repro.security.ca import CertificateAuthority, CertificateError, verify_chain
+from repro.security.ca import CertificateAuthority
 from repro.security.credentials import Credential
-from repro.security.gridmap import AuthorizationError, GridMap
+from repro.security.gridmap import GridMap
+from repro.services.bus import (
+    ServiceClient,
+    ServiceEndpoint,
+    ServiceError,
+    ServiceRequest,
+)
+from repro.services.middleware import (
+    DeadlineMiddleware,
+    GsiAuthenticator,
+    GsiAuthMiddleware,
+    ServerMonitorMiddleware,
+)
+from repro.services.tracelog import TraceLog
 from repro.simulation.kernel import Process, Simulator
 from repro.simulation.monitor import Monitor
-from repro.simulation.resources import Store
 
 __all__ = [
     "GdmpError",
+    "RequestTimeout",
     "RemoteError",
     "AuthenticatedRequest",
     "RequestServer",
@@ -37,10 +53,8 @@ __all__ = [
 
 REQUEST_MESSAGE_SIZE = 512
 
-_client_counter = itertools.count(1)
 
-
-class GdmpError(Exception):
+class GdmpError(ServiceError):
     """GDMP operation failure."""
 
 
@@ -58,6 +72,10 @@ class RemoteError(GdmpError):
         self.remote_message = message
 
 
+def _request_timeout(operation: str, server: str, timeout: float) -> RequestTimeout:
+    return RequestTimeout(f"{operation}@{server}: no reply within {timeout}s")
+
+
 @dataclass(frozen=True)
 class AuthenticatedRequest:
     """What a handler receives after the security layer has done its job."""
@@ -73,8 +91,8 @@ class AuthenticatedRequest:
 Handler = Callable[[AuthenticatedRequest], Generator]
 
 
-class RequestServer:
-    """Server half: a dispatch table behind the security layer."""
+class RequestServer(ServiceEndpoint):
+    """Server half: a dispatch table behind the security middleware."""
 
     SERVICE = "gdmp"
 
@@ -87,85 +105,52 @@ class RequestServer:
         trusted_cas: list[CertificateAuthority],
         gridmap: GridMap,
         service: str = SERVICE,
+        tracelog: Optional[TraceLog] = None,
     ):
-        self.sim = sim
-        self.msgnet = msgnet
-        self.host = host
+        monitor = Monitor()
         self.credential = credential
         self.trusted_cas = trusted_cas
         self.gridmap = gridmap
-        self.service = service
-        self.monitor = Monitor()
-        self._handlers: dict[str, Handler] = {}
-        self._mailbox = msgnet.register(host, service)
-        sim.spawn(self._serve(), name=f"gdmp-request-manager@{host.name}")
+        self.authenticator = GsiAuthenticator(trusted_cas, gridmap)
+        super().__init__(
+            sim,
+            msgnet,
+            host,
+            service,
+            middlewares=(
+                ServerMonitorMiddleware(monitor),
+                GsiAuthMiddleware(self.authenticator, monitor),
+                DeadlineMiddleware(monitor),
+            ),
+            tracelog=tracelog,
+            monitor=monitor,
+            message_size=REQUEST_MESSAGE_SIZE,
+            process_name=f"gdmp-request-manager@{host.name}",
+        )
 
     def register(self, operation: str, handler: Handler) -> None:
-        """Bind a handler generator to an operation name."""
-        if operation in self._handlers:
-            raise ValueError(f"handler for {operation!r} already registered")
-        self._handlers[operation] = handler
+        """Bind a handler generator to an operation name.  Handlers receive
+        an :class:`AuthenticatedRequest` built from the middleware's
+        verification result."""
 
-    def _serve(self):
-        while True:
-            envelope = yield self._mailbox.get()
-            self.sim.spawn(
-                self._handle(envelope), name=f"gdmp-handler@{self.host.name}"
+        def adapter(request: ServiceRequest):
+            auth = request.state["auth"]
+            result = yield from handler(
+                AuthenticatedRequest(
+                    operation=request.operation,
+                    payload=request.payload,
+                    caller_host=request.caller_host,
+                    subject=auth.subject,
+                    identity=auth.identity,
+                    account=auth.account,
+                )
             )
+            return result
 
-    def _respond(self, envelope, request_id, ok: bool, payload: Any):
-        reply_service = envelope.payload["reply_service"]
-        return self.msgnet.send(
-            self.host,
-            envelope.src,
-            reply_service,
-            payload={"request_id": request_id, "ok": ok, "payload": payload},
-            size=REQUEST_MESSAGE_SIZE,
-        )
-
-    def _handle(self, envelope):
-        body = envelope.payload
-        request_id = body["request_id"]
-        operation = body["operation"]
-        self.monitor.count(f"op_{operation}")
-        # security layer: authenticate + authorize before any dispatch
-        try:
-            chain = body["chain"]
-            identity = verify_chain(chain, self.trusted_cas, self.sim.now)
-            account = self.gridmap.authorize(identity)
-        except (CertificateError, AuthorizationError, KeyError) as exc:
-            self.monitor.count("auth_failures")
-            yield self._respond(envelope, request_id, False, f"security: {exc}")
-            return
-        handler = self._handlers.get(operation)
-        if handler is None:
-            yield self._respond(
-                envelope, request_id, False, f"unknown operation {operation!r}"
-            )
-            return
-        request = AuthenticatedRequest(
-            operation=operation,
-            payload=body["payload"],
-            caller_host=envelope.src,
-            subject=chain[0].subject,
-            identity=identity,
-            account=account,
-        )
-        try:
-            result = yield self.sim.spawn(
-                handler(request), name=f"gdmp-op-{operation}"
-            )
-        except GdmpError as exc:
-            yield self._respond(envelope, request_id, False, str(exc))
-            return
-        except Exception as exc:  # handler bug or substrate error: surface it
-            self.monitor.count("handler_errors")
-            yield self._respond(envelope, request_id, False, f"{type(exc).__name__}: {exc}")
-            return
-        yield self._respond(envelope, request_id, True, result)
+        super().register(operation, adapter)
 
 
-class RequestClient:
+class RequestClient(ServiceClient):
     """Client half: issue authenticated calls to remote GDMP servers."""
 
     def __init__(
@@ -175,72 +160,40 @@ class RequestClient:
         host: Host,
         credential: Credential,
         service: str = RequestServer.SERVICE,
+        tracelog: Optional[TraceLog] = None,
     ):
-        self.sim = sim
-        self.msgnet = msgnet
-        self.host = host
+        super().__init__(
+            sim,
+            msgnet,
+            host,
+            service,
+            tracelog=tracelog,
+            message_size=REQUEST_MESSAGE_SIZE,
+            remote_error=RemoteError,
+            timeout_error=_request_timeout,
+        )
         self.credential = credential
-        self.service = service
-        self.reply_service = f"gdmp-reply-{next(_client_counter)}"
-        self._mailbox = msgnet.register(host, self.reply_service)
-        self._request_ids = itertools.count(1)
-        self._pending: dict[int, Store] = {}
-        self.monitor = Monitor()
-        sim.spawn(self._dispatch(), name=f"gdmp-client-dispatch@{host.name}")
 
-    def _dispatch(self):
-        while True:
-            envelope = yield self._mailbox.get()
-            body = envelope.payload
-            store = self._pending.get(body["request_id"])
-            if store is not None:
-                store.put(body)
-
-    def call(self, server_host: str, operation: str, payload: Any = None,
-             size: int = REQUEST_MESSAGE_SIZE,
-             timeout: Optional[float] = None) -> Process:
+    def call(
+        self,
+        server_host: str,
+        operation: str,
+        payload: Any = None,
+        size: int = REQUEST_MESSAGE_SIZE,
+        timeout: Optional[float] = None,
+    ) -> Process:
         """Invoke ``operation`` on the GDMP server at ``server_host``.
 
         With ``timeout`` set, a missing reply (crashed server, dropped
         message) raises :class:`RequestTimeout` after that many seconds;
         without it the call waits indefinitely (in-order FIFO delivery
-        means no reply can be merely late)."""
-
-        _timed_out = object()
-
-        def run():
-            request_id = next(self._request_ids)
-            store = Store(self.sim)
-            self._pending[request_id] = store
-            self.monitor.count("calls")
-            self.msgnet.send(
-                self.host,
-                server_host,
-                self.service,
-                payload={
-                    "request_id": request_id,
-                    "operation": operation,
-                    "payload": payload,
-                    "chain": self.credential.chain,
-                    "reply_service": self.reply_service,
-                },
-                size=size,
-            )
-            if timeout is None:
-                body = yield store.get()
-            else:
-                body = yield self.sim.any_of(
-                    [store.get(), self.sim.timeout(timeout, value=_timed_out)]
-                )
-            del self._pending[request_id]
-            if body is _timed_out:
-                self.monitor.count("call_timeouts")
-                raise RequestTimeout(
-                    f"{operation}@{server_host}: no reply within {timeout}s"
-                )
-            if not body["ok"]:
-                self.monitor.count("call_failures")
-                raise RemoteError(operation, server_host, body["payload"])
-            return body["payload"]
-
-        return self.sim.spawn(run(), name=f"gdmp-call {operation}@{server_host}")
+        means no reply can be merely late).  The late reply of a timed-out
+        call is discarded on arrival, never misdelivered to a later call."""
+        return super().call(
+            server_host,
+            operation,
+            payload,
+            size=size,
+            timeout=timeout,
+            meta={"chain": self.credential.chain},
+        )

@@ -7,33 +7,32 @@ process) writes::
     session = yield client.connect("cern")
     result = yield client.get(session, "/store/f1", "/pool/f1")
 
-A session owns a private reply mailbox; the control-channel conversation —
-AUTH/ADAT handshake, SBUF/OPTS negotiation, RETR with streamed 111/112
-markers — happens over the simulated message network, so control-channel
-latency (the per-transfer setup cost visible in Figure 5's 1 MB curve) is
-charged faithfully.
+The control-channel conversation — AUTH/ADAT handshake, SBUF/OPTS
+negotiation, RETR with streamed 111/112 markers — rides the shared service
+bus (:mod:`repro.services`): one correlated :class:`ServiceClient` carries
+every command, so control-channel latency (the per-transfer setup cost
+visible in Figure 5's 1 MB curve) is charged faithfully, and each command
+opens a client span in the simulation's trace log.
 """
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import Optional
 
 from repro.gridftp.markers import PerfMarker, RangeSet, RestartMarker
 from repro.gridftp.protocol import CONTROL_MESSAGE_SIZE, Command, Reply
 from repro.gridftp.server import GridFTPServer, TransferDescriptor
-from repro.netsim.channels import Mailbox, MessageNetwork
+from repro.netsim.channels import MessageNetwork
 from repro.netsim.topology import Host
 from repro.netsim.units import KiB
 from repro.security.credentials import Credential
+from repro.services.bus import ServiceClient
+from repro.services.tracelog import TraceLog
 from repro.simulation.kernel import Process, Simulator
-from repro.simulation.resources import Store
 from repro.storage.filesystem import FileSystem, StoredFile
 
 __all__ = ["TransferError", "TransferResult", "ClientSession", "GridFTPClient"]
-
-_client_ids = itertools.count(1)
 
 
 class TransferError(Exception):
@@ -91,59 +90,39 @@ class GridFTPClient:
         host: Host,
         credential: Credential,
         filesystem: Optional[FileSystem] = None,
+        tracelog: Optional[TraceLog] = None,
     ):
         self.sim = sim
         self.msgnet = msgnet
         self.host = host
         self.credential = credential
         self.fs = filesystem
-        self.service = f"gridftp-client-{next(_client_ids)}"
-        self._mailbox: Mailbox = msgnet.register(host, self.service)
-        self._request_ids = itertools.count(1)
-        self._pending: dict[int, Store] = {}
-        sim.spawn(self._dispatch(), name=f"gridftp-client-dispatch@{host.name}")
+        # Per-simulator serial (not a module global): back-to-back
+        # simulations in one process name their endpoints identically.
+        self.service = f"gridftp-client-{sim.next_serial('gridftp-client')}"
+        self.bus = ServiceClient(
+            sim,
+            msgnet,
+            host,
+            GridFTPServer.SERVICE,
+            reply_service=self.service,
+            tracelog=tracelog,
+            message_size=CONTROL_MESSAGE_SIZE,
+        )
 
     # -- control-channel plumbing --------------------------------------------
-    def _dispatch(self):
-        """Route incoming replies to the store of the request they answer.
-        Replies for requests nobody is waiting on (late markers) are dropped,
-        as a real client drops data for a closed control channel."""
-        while True:
-            envelope = yield self._mailbox.get()
-            request_id, reply = envelope.payload
-            store = self._pending.get(request_id)
-            if store is not None:
-                store.put(reply)
-
-    def _send(self, server_host: str, command: Command) -> int:
-        request_id = next(self._request_ids)
-        self.msgnet.send(
-            self.host,
-            server_host,
-            GridFTPServer.SERVICE,
-            payload=(request_id, command),
-            size=CONTROL_MESSAGE_SIZE,
-        )
-        self._pending[request_id] = Store(self.sim)
-        return request_id
-
-    def _await_final(self, request_id: int):
-        """Wait for the final (non-1xx) reply to ``request_id``; preliminary
-        replies (150 opening, perf/restart markers) are collected."""
-        store = self._pending[request_id]
-        markers: list[Reply] = []
-        while True:
-            reply = yield store.get()
-            if reply.is_preliminary:
-                markers.append(reply)
-                continue
-            del self._pending[request_id]
-            return reply, markers
-
     def _rpc(self, server_host: str, command: Command):
-        request_id = self._send(server_host, command)
-        final, markers = yield from self._await_final(request_id)
-        return final, markers
+        """One command round-trip; returns (final reply, preliminary replies).
+        Driven with ``yield from`` so each public operation stays a single
+        simulation process."""
+        outcome = yield from self.bus.invoke(
+            server_host, command.verb, command, raise_on_fault=False
+        )
+        reply = outcome.payload
+        if not isinstance(reply, Reply):
+            # a non-protocol fault (handler bug surfaced by the bus)
+            raise TransferError(str(reply))
+        return reply, outcome.preliminaries
 
     def _command(self, session: ClientSession, verb: str, argument: str = "",
                  **extras):
@@ -151,7 +130,7 @@ class GridFTPClient:
             verb=verb,
             argument=argument,
             session=session.session_id,
-            extras={"reply_service": self.service, **extras},
+            extras=extras,
         )
         final, markers = yield from self._rpc(session.server_host, command)
         return final, markers
@@ -161,8 +140,7 @@ class GridFTPClient:
         """AUTH/ADAT handshake; returns a :class:`ClientSession`."""
 
         def run():
-            auth = Command("AUTH", "GSSAPI",
-                           extras={"reply_service": self.service})
+            auth = Command("AUTH", "GSSAPI")
             reply, _ = yield from self._rpc(server_host, auth)
             if reply.code != 334:
                 raise TransferError(f"AUTH rejected: {reply}", reply)
@@ -170,10 +148,7 @@ class GridFTPClient:
             adat = Command(
                 "ADAT",
                 session=session_id,
-                extras={
-                    "reply_service": self.service,
-                    "chain": self.credential.chain,
-                },
+                extras={"chain": self.credential.chain},
             )
             reply, _ = yield from self._rpc(server_host, adat)
             if reply.code != 235:

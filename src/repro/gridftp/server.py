@@ -1,10 +1,14 @@
 """The GridFTP server daemon (the wuftpd-derived server of §3.2).
 
-One server runs per site.  The control channel is a mailbox on the site's
-message network; each client session is GSI-authenticated and
-gridmap-authorized before any file command is accepted.  Data transfers run
-as parallel TCP flows on the shared :class:`~repro.netsim.engine.NetworkEngine`,
-with restart/performance markers streamed back as preliminary replies.
+One server runs per site.  The control channel is a :class:`ServiceEndpoint`
+on the shared service bus (:mod:`repro.services`): each FTP verb is a bus
+operation, the session/login state machine is a middleware, and GSI
+authentication (ADAT) goes through the same :class:`GsiAuthenticator` the
+GDMP Request Manager uses.  Protocol errors fault with a
+:class:`~repro.gridftp.protocol.Reply` carrying the FTP code, and
+preliminary replies (150 opening, 111/112 markers) stream back as non-final
+bus replies.  Data transfers run as parallel TCP flows on the shared
+:class:`~repro.netsim.engine.NetworkEngine`.
 
 A :class:`FailureInjector` can abort a transfer after N delivered bytes or
 corrupt the next transfer of a path — the failure modes GDMP's data mover
@@ -19,14 +23,17 @@ from typing import Optional
 from repro.gridftp import protocol
 from repro.gridftp.markers import PerfMarker, RangeSet, RestartMarker
 from repro.gridftp.protocol import CONTROL_MESSAGE_SIZE, Command, Reply
-from repro.netsim.channels import Envelope, MessageNetwork
+from repro.netsim.channels import MessageNetwork
 from repro.netsim.engine import NetworkEngine, TransferAborted
 from repro.netsim.tcp import TcpParams
 from repro.netsim.topology import Host
 from repro.netsim.units import KiB
-from repro.security.ca import CertificateAuthority, CertificateError, verify_chain
+from repro.security.ca import CertificateAuthority, CertificateError
 from repro.security.credentials import Credential
 from repro.security.gridmap import AuthorizationError, GridMap
+from repro.services.bus import ServiceEndpoint, ServiceFault, ServiceRequest
+from repro.services.middleware import GsiAuthenticator, ServerMonitorMiddleware
+from repro.services.tracelog import TraceLog
 from repro.simulation.kernel import Simulator
 from repro.simulation.monitor import Monitor
 from repro.storage.filesystem import FileSystem, StorageError
@@ -35,6 +42,12 @@ __all__ = ["GridFTPServer", "FailureInjector", "TransferDescriptor"]
 
 #: How often the server emits performance markers during a transfer.
 PERF_MARKER_INTERVAL = 5.0
+
+#: The FTP verbs this daemon implements, each a bus operation.
+VERBS = (
+    "AUTH", "ADAT", "FEAT", "SBUF", "OPTS", "REST", "SIZE", "MDTM",
+    "CKSM", "ABOR", "QUIT", "RETR", "ERET", "ESTO", "STOR",
+)
 
 
 @dataclass(frozen=True)
@@ -53,7 +66,6 @@ class TransferDescriptor:
 class _Session:
     session_id: str
     client_host: str
-    reply_service: str
     subject: str = ""
     identity: str = ""
     account: str = ""
@@ -93,7 +105,7 @@ class FailureInjector:
 
 
 class GridFTPServer:
-    """A site's GridFTP daemon."""
+    """A site's GridFTP daemon: an FTP protocol profile over the bus."""
 
     SERVICE = "gridftp"
 
@@ -110,6 +122,7 @@ class GridFTPServer:
         default_buffer: int = 64 * KiB,
         max_parallelism: int = 16,
         data_nodes: tuple[str, ...] = (),
+        tracelog: Optional[TraceLog] = None,
     ):
         self.sim = sim
         self.msgnet = msgnet
@@ -127,220 +140,174 @@ class GridFTPServer:
         self.data_nodes = tuple(data_nodes)
         self.failures = FailureInjector()
         self.monitor = Monitor()
+        self.tracelog = tracelog
+        self.authenticator = GsiAuthenticator(trusted_cas, gridmap)
         self._sessions: dict[str, _Session] = {}
         self._session_counter = 0
-        self._mailbox = msgnet.register(host, self.SERVICE)
-        sim.spawn(self._serve(), name=f"gridftpd@{host.name}")
-
-    # -- main loop -----------------------------------------------------------
-    def _serve(self):
-        while True:
-            envelope = yield self._mailbox.get()
-            self.sim.spawn(
-                self._handle(envelope), name=f"gridftp-req@{self.host.name}"
-            )
-
-    def _reply(self, session: _Session, request_id: int, reply: Reply):
-        return self.msgnet.send(
-            self.host,
-            session.client_host,
-            session.reply_service,
-            payload=(request_id, reply),
-            size=CONTROL_MESSAGE_SIZE,
+        self.bus = ServiceEndpoint(
+            sim,
+            msgnet,
+            host,
+            self.SERVICE,
+            middlewares=(
+                ServerMonitorMiddleware(self.monitor, prefix="cmd_"),
+                self._session_gate,
+            ),
+            tracelog=tracelog,
+            monitor=self.monitor,
+            message_size=CONTROL_MESSAGE_SIZE,
+            unknown_operation=lambda request: ServiceFault(
+                Reply(502, f"{request.operation} not implemented")
+            ),
+            process_name=f"gridftpd@{host.name}",
         )
+        for verb in VERBS:
+            self.bus.register(verb, getattr(self, f"_cmd_{verb.lower()}"))
 
-    def _handle(self, envelope: Envelope):
-        request_id, command = envelope.payload
-        assert isinstance(command, Command)
-        self.monitor.count(f"cmd_{command.verb}")
-        if command.verb == "AUTH":
-            yield from self._cmd_auth(envelope, request_id, command)
-            return
-        session = self._sessions.get(command.session)
-        if session is None:
-            # No session: reply straight to the envelope's return address.
-            self.msgnet.send(
-                self.host,
-                envelope.src,
-                command.extras.get("reply_service", "gridftp-client"),
-                payload=(request_id, protocol.bad_sequence("no such session")),
-                size=CONTROL_MESSAGE_SIZE,
-            )
-            return
-        if command.verb == "ADAT":
-            yield from self._cmd_adat(session, request_id, command)
-            return
-        if not session.authenticated:
-            yield self._reply(
-                session, request_id, protocol.denied("authenticate first")
-            )
-            return
-        handler = getattr(self, f"_cmd_{command.verb.lower()}", None)
-        if handler is None:
-            yield self._reply(
-                session, request_id, Reply(502, f"{command.verb} not implemented")
-            )
-            return
-        yield from handler(session, request_id, command)
+    # -- session/login state machine -----------------------------------------
+    def _session_gate(self, request: ServiceRequest, call_next):
+        """Middleware enforcing the FTP conversation order: AUTH allocates a
+        session, ADAT logs it in, everything else requires a login."""
+        verb = request.operation
+        if verb != "AUTH":
+            command: Command = request.payload
+            session = self._sessions.get(command.session)
+            if session is None:
+                raise ServiceFault(protocol.bad_sequence("no such session"))
+            request.state["session"] = session
+            if verb != "ADAT" and not session.authenticated:
+                raise ServiceFault(protocol.denied("authenticate first"))
+        result = yield from call_next(request)
+        return result
 
     # -- authentication ----------------------------------------------------------
-    def _cmd_auth(self, envelope: Envelope, request_id: int, command: Command):
+    def _cmd_auth(self, request: ServiceRequest):
         """AUTH GSSAPI: allocate a session, ask for ADAT (round trip 1)."""
         self._session_counter += 1
         session = _Session(
             session_id=f"{self.host.name}-{self._session_counter}",
-            client_host=envelope.src,
-            reply_service=command.extras["reply_service"],
+            client_host=request.caller_host,
         )
         session.auth_started = True
         self._sessions[session.session_id] = session
-        yield self.msgnet.send(
-            self.host,
-            session.client_host,
-            session.reply_service,
-            payload=(
-                request_id,
-                Reply(334, "ADAT must follow", payload=session.session_id),
-            ),
-            size=CONTROL_MESSAGE_SIZE,
-        )
+        return Reply(334, "ADAT must follow", payload=session.session_id)
 
-    def _cmd_adat(self, session: _Session, request_id: int, command: Command):
+    def _cmd_adat(self, request: ServiceRequest):
         """ADAT <chain>: verify the client chain, authorize, log in (RT 2)."""
-        chain = command.extras.get("chain")
+        session: _Session = request.state["session"]
+        command: Command = request.payload
         try:
-            if chain is None:
-                raise CertificateError("no credential presented")
-            identity = verify_chain(chain, self.trusted_cas, self.sim.now)
-            account = self.gridmap.authorize(identity)
+            auth = self.authenticator.authenticate(
+                command.extras.get("chain"), self.sim.now
+            )
         except (CertificateError, AuthorizationError) as exc:
             self.monitor.count("auth_failures")
             del self._sessions[session.session_id]
-            yield self._reply(session, request_id, protocol.denied(str(exc)))
-            return
-        session.subject = chain[0].subject
-        session.identity = identity
-        session.account = account
+            raise ServiceFault(protocol.denied(str(exc))) from exc
+        session.subject = auth.subject
+        session.identity = auth.identity
+        session.account = auth.account
         session.authenticated = True
         session.buffer = self.default_buffer
         self.monitor.count("auth_successes")
-        yield self._reply(
-            session,
-            request_id,
-            Reply(
-                235,
-                f"GSSAPI authentication succeeded; user {account} logged in",
-                payload={"session": session.session_id, "account": account,
-                         "server_subject": self.credential.subject},
-            ),
+        return Reply(
+            235,
+            f"GSSAPI authentication succeeded; user {auth.account} logged in",
+            payload={"session": session.session_id, "account": auth.account,
+                     "server_subject": self.credential.subject},
         )
 
     # -- simple commands ------------------------------------------------------------
-    def _cmd_feat(self, session: _Session, request_id: int, command: Command):
-        yield self._reply(
-            session, request_id, Reply(211, "Extensions supported",
-                                       payload=protocol.FEATURES)
-        )
+    def _cmd_feat(self, request: ServiceRequest):
+        return Reply(211, "Extensions supported", payload=protocol.FEATURES)
 
-    def _cmd_sbuf(self, session: _Session, request_id: int, command: Command):
+    def _cmd_sbuf(self, request: ServiceRequest):
+        session: _Session = request.state["session"]
+        command: Command = request.payload
         try:
             size = int(command.argument)
             if size < 1460:
                 raise ValueError
         except ValueError:
-            yield self._reply(session, request_id, Reply(501, "bad buffer size"))
-            return
+            raise ServiceFault(Reply(501, "bad buffer size")) from None
         session.buffer = size
-        yield self._reply(session, request_id, protocol.ok(f"SBUF {size}"))
+        return protocol.ok(f"SBUF {size}")
 
-    def _cmd_opts(self, session: _Session, request_id: int, command: Command):
-        arg = command.argument.strip()
+    def _cmd_opts(self, request: ServiceRequest):
+        session: _Session = request.state["session"]
+        arg = request.payload.argument.strip()
         if arg.upper().startswith("RETR PARALLELISM="):
             try:
                 n = int(arg.split("=", 1)[1].rstrip(";"))
                 if not 1 <= n <= self.max_parallelism:
                     raise ValueError
             except ValueError:
-                yield self._reply(session, request_id, Reply(501, "bad parallelism"))
-                return
+                raise ServiceFault(Reply(501, "bad parallelism")) from None
             session.parallelism = n
-            yield self._reply(session, request_id, protocol.ok(f"Parallelism={n}"))
-            return
-        yield self._reply(session, request_id, Reply(501, f"unknown OPTS {arg!r}"))
+            return protocol.ok(f"Parallelism={n}")
+        raise ServiceFault(Reply(501, f"unknown OPTS {arg!r}"))
 
-    def _cmd_rest(self, session: _Session, request_id: int, command: Command):
+    def _cmd_rest(self, request: ServiceRequest):
+        session: _Session = request.state["session"]
         try:
-            session.restart = RangeSet.from_rest_argument(command.argument)
+            session.restart = RangeSet.from_rest_argument(
+                request.payload.argument
+            )
         except ValueError as exc:
-            yield self._reply(session, request_id, Reply(501, str(exc)))
-            return
-        yield self._reply(
-            session, request_id, Reply(350, "Restart marker accepted")
-        )
+            raise ServiceFault(Reply(501, str(exc))) from exc
+        return Reply(350, "Restart marker accepted")
 
-    def _cmd_size(self, session: _Session, request_id: int, command: Command):
+    def _stat_or_fault(self, path: str):
         try:
-            stored = self.fs.stat(command.argument)
+            return self.fs.stat(path)
         except StorageError as exc:
-            yield self._reply(session, request_id, protocol.not_found(str(exc)))
-            return
-        yield self._reply(
-            session, request_id, Reply(213, f"{stored.size:.0f}", payload=stored.size)
+            raise ServiceFault(protocol.not_found(str(exc))) from exc
+
+    def _cmd_size(self, request: ServiceRequest):
+        stored = self._stat_or_fault(request.payload.argument)
+        return Reply(213, f"{stored.size:.0f}", payload=stored.size)
+
+    def _cmd_mdtm(self, request: ServiceRequest):
+        stored = self._stat_or_fault(request.payload.argument)
+        return Reply(
+            213, f"{stored.created_at:.6f}", payload=stored.created_at
         )
 
-    def _cmd_mdtm(self, session: _Session, request_id: int, command: Command):
-        try:
-            stored = self.fs.stat(command.argument)
-        except StorageError as exc:
-            yield self._reply(session, request_id, protocol.not_found(str(exc)))
-            return
-        yield self._reply(
-            session, request_id,
-            Reply(213, f"{stored.created_at:.6f}", payload=stored.created_at),
-        )
-
-    def _cmd_cksm(self, session: _Session, request_id: int, command: Command):
+    def _cmd_cksm(self, request: ServiceRequest):
         """CKSM CRC32 — the extra end-to-end check GDMP layers on TCP."""
-        try:
-            stored = self.fs.stat(command.argument)
-        except StorageError as exc:
-            yield self._reply(session, request_id, protocol.not_found(str(exc)))
-            return
-        yield self._reply(
-            session, request_id, Reply(213, f"{stored.crc}", payload=stored.crc)
-        )
+        stored = self._stat_or_fault(request.payload.argument)
+        return Reply(213, f"{stored.crc}", payload=stored.crc)
 
-    def _cmd_abor(self, session: _Session, request_id: int, command: Command):
-        yield self._reply(session, request_id, Reply(226, "ABOR processed"))
+    def _cmd_abor(self, request: ServiceRequest):
+        return Reply(226, "ABOR processed")
 
-    def _cmd_quit(self, session: _Session, request_id: int, command: Command):
+    def _cmd_quit(self, request: ServiceRequest):
+        session: _Session = request.state["session"]
         self._sessions.pop(session.session_id, None)
-        yield self._reply(session, request_id, Reply(221, "Goodbye"))
+        return Reply(221, "Goodbye")
 
     # -- data transfer ------------------------------------------------------------
-    def _cmd_retr(self, session: _Session, request_id: int, command: Command):
-        yield from self._send_file(
-            session, request_id, command, offset=0.0, length=None
-        )
+    def _cmd_retr(self, request: ServiceRequest):
+        result = yield from self._send_file(request, offset=0.0, length=None)
+        return result
 
-    def _cmd_eret(self, session: _Session, request_id: int, command: Command):
+    def _cmd_eret(self, request: ServiceRequest):
         """Partial file transfer: ERET P <offset> <length> <path>."""
+        command: Command = request.payload
         offset = float(command.extras.get("offset", 0.0))
         length = command.extras.get("length")
         if length is not None:
             length = float(length)
-        yield from self._send_file(session, request_id, command, offset, length)
+        result = yield from self._send_file(request, offset, length)
+        return result
 
-    def _send_file(self, session, request_id, command, offset, length):
+    def _send_file(self, request: ServiceRequest, offset, length):
+        session: _Session = request.state["session"]
+        command: Command = request.payload
         path = command.argument
-        try:
-            stored = self.fs.stat(path)
-        except StorageError as exc:
-            yield self._reply(session, request_id, protocol.not_found(str(exc)))
-            return
+        stored = self._stat_or_fault(path)
         if offset < 0 or offset > stored.size:
-            yield self._reply(session, request_id, Reply(501, "bad offset"))
-            return
+            raise ServiceFault(Reply(501, "bad offset"))
         total = stored.size - offset if length is None else min(
             length, stored.size - offset
         )
@@ -363,18 +330,30 @@ class GridFTPServer:
             attrs=dict(stored.attrs),
         )
         dest = command.extras.get("dest_host", session.client_host)
-        yield self._reply(session, request_id, protocol.opening(f"RETR {path}"))
+        yield request.preliminary(protocol.opening(f"RETR {path}"))
         if remaining <= 0:
             # restart marker already covered everything
-            yield self._reply(
-                session, request_id,
-                protocol.closing(payload={"descriptor": descriptor, "sent": 0.0}),
+            return protocol.closing(
+                payload={"descriptor": descriptor, "sent": 0.0}
             )
-            return
         rate_cap = min(
             self.fs.read_rate,
             command.extras.get("write_rate", session.client_write_rate),
         )
+        # The transfer gets its own span; flows inherit it via the pool's
+        # context, so the trace covers RPC -> control channel -> data flows.
+        span = None
+        if self.tracelog is not None:
+            span = self.tracelog.begin(
+                "gridftp:transfer",
+                parent=request.context,
+                kind="transfer",
+                host=self.host.name,
+                service=self.SERVICE,
+                path=path,
+                dest=dest,
+            )
+            self.sim.active_process.context = span.context
         # one stripe per server data node (SPAS), each with the session's
         # parallelism; the single-host case degenerates to a plain transfer
         stripe_hosts = (self.host.name, *self.data_nodes)
@@ -395,33 +374,30 @@ class GridFTPServer:
                 self._abort_watchdog(pool, abort_at),
                 name=f"abort-watchdog:{path}",
             )
-        yield from self._stream_markers(session, request_id, pool, already)
+        self._stream_markers(request, pool, already)
         try:
             yield pool.done
         except TransferAborted as exc:
             self.monitor.count("aborted_transfers")
+            if span is not None:
+                self.tracelog.finish(span, "error", detail="aborted")
             marker = RestartMarker(RangeSet([(0.0, already + exc.delivered)]))
-            yield self._reply(
-                session,
-                request_id,
+            raise ServiceFault(
                 protocol.aborted(
                     "Data connection closed",
                     payload={"restart_marker": marker, "descriptor": descriptor},
-                ),
-            )
-            return
+                )
+            ) from exc
+        if span is not None:
+            self.tracelog.finish(span, "ok")
         self.monitor.count("bytes_sent", remaining)
         self.monitor.count("files_sent")
-        yield self._reply(
-            session,
-            request_id,
-            protocol.closing(
-                payload={
-                    "descriptor": descriptor,
-                    "sent": remaining,
-                    "duration": pool.completed_at - pool.started_at,
-                }
-            ),
+        return protocol.closing(
+            payload={
+                "descriptor": descriptor,
+                "sent": remaining,
+                "duration": pool.completed_at - pool.started_at,
+            }
         )
 
     def _abort_watchdog(self, pool, abort_at: float):
@@ -431,7 +407,7 @@ class GridFTPServer:
                 return
             yield self.sim.timeout(0.05)
 
-    def _stream_markers(self, session, request_id, pool, base_offset):
+    def _stream_markers(self, request: ServiceRequest, pool, base_offset):
         """Spawn the per-transfer marker emitter (111/112 preliminary replies)."""
 
         def emitter(sim=self.sim):
@@ -445,29 +421,20 @@ class GridFTPServer:
                 restart = RestartMarker(
                     RangeSet([(0.0, base_offset + pool.delivered)])
                 )
-                self._reply(
-                    session,
-                    request_id,
-                    Reply(112, "Perf Marker", payload=perf),
-                )
-                self._reply(
-                    session,
-                    request_id,
-                    Reply(111, "Range Marker", payload=restart),
-                )
+                request.preliminary(Reply(112, "Perf Marker", payload=perf))
+                request.preliminary(Reply(111, "Range Marker", payload=restart))
 
         self.sim.spawn(emitter(), name="marker-emitter")
-        return iter(())  # nothing to wait for here
 
-    def _cmd_esto(self, session: _Session, request_id: int, command: Command):
+    def _cmd_esto(self, request: ServiceRequest):
         """ESTO A <path>: materialize a descriptor whose bytes were already
         delivered to this host by a third-party RETR (the receiving half of
         third-party control of data transfer)."""
+        command: Command = request.payload
         descriptor: TransferDescriptor = command.extras["descriptor"]
         path = command.argument
         if self.fs.exists(path):
-            yield self._reply(session, request_id, Reply(553, "file exists"))
-            return
+            raise ServiceFault(Reply(553, "file exists"))
         try:
             self.fs.create(
                 path,
@@ -478,25 +445,33 @@ class GridFTPServer:
                 **descriptor.attrs,
             )
         except StorageError as exc:
-            yield self._reply(session, request_id, Reply(452, str(exc)))
-            return
+            raise ServiceFault(Reply(452, str(exc))) from exc
         self.monitor.count("files_received")
-        yield self._reply(
-            session, request_id,
-            protocol.closing(payload={"received": descriptor.size}),
-        )
+        return protocol.closing(payload={"received": descriptor.size})
 
-    def _cmd_stor(self, session: _Session, request_id: int, command: Command):
+    def _cmd_stor(self, request: ServiceRequest):
         """STOR: receive a file from the client (upload)."""
+        session: _Session = request.state["session"]
+        command: Command = request.payload
         descriptor: TransferDescriptor = command.extras["descriptor"]
         path = command.argument
         if self.fs.exists(path):
-            yield self._reply(session, request_id, Reply(553, "file exists"))
-            return
+            raise ServiceFault(Reply(553, "file exists"))
         if descriptor.size > self.fs.free:
-            yield self._reply(session, request_id, Reply(452, "no space"))
-            return
-        yield self._reply(session, request_id, protocol.opening(f"STOR {path}"))
+            raise ServiceFault(Reply(452, "no space"))
+        yield request.preliminary(protocol.opening(f"STOR {path}"))
+        span = None
+        if self.tracelog is not None:
+            span = self.tracelog.begin(
+                "gridftp:transfer",
+                parent=request.context,
+                kind="transfer",
+                host=self.host.name,
+                service=self.SERVICE,
+                path=path,
+                dest=self.host.name,
+            )
+            self.sim.active_process.context = span.context
         pool = self.engine.open_transfer(
             session.client_host,
             self.host.name,
@@ -510,12 +485,14 @@ class GridFTPServer:
         try:
             yield pool.done
         except TransferAborted as exc:
-            yield self._reply(
-                session, request_id,
+            if span is not None:
+                self.tracelog.finish(span, "error", detail="aborted")
+            raise ServiceFault(
                 protocol.aborted("Data connection closed",
-                                 payload={"received": exc.delivered}),
-            )
-            return
+                                 payload={"received": exc.delivered})
+            ) from exc
+        if span is not None:
+            self.tracelog.finish(span, "ok")
         self.fs.create(
             path,
             descriptor.size,
@@ -526,7 +503,4 @@ class GridFTPServer:
         )
         self.monitor.count("bytes_received", descriptor.size)
         self.monitor.count("files_received")
-        yield self._reply(
-            session, request_id,
-            protocol.closing(payload={"received": descriptor.size}),
-        )
+        return protocol.closing(payload={"received": descriptor.size})

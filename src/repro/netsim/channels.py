@@ -22,7 +22,13 @@ __all__ = ["Envelope", "Mailbox", "MessageNetwork"]
 
 @dataclass(frozen=True)
 class Envelope:
-    """A delivered message."""
+    """A delivered message.
+
+    ``context`` carries the sender's request-trace context (a
+    :class:`repro.services.context.RequestContext`, or ``None``) so that
+    multi-hop request chains — RPC -> GridFTP control -> catalog update —
+    keep one causal trace id across every delivery.
+    """
 
     src: str
     dst: str
@@ -31,6 +37,7 @@ class Envelope:
     size: int
     sent_at: float
     delivered_at: float
+    context: Any = None
 
 
 class Mailbox:
@@ -122,14 +129,19 @@ class MessageNetwork:
         service: str,
         payload: Any,
         size: int = 512,
+        context: Any = None,
     ) -> Event:
         """Send ``payload`` to ``(dst, service)``.  The returned event fires
-        when the message has been *delivered* (placed in the mailbox)."""
+        when the message has been *delivered* (placed in the mailbox).
+        ``context`` (defaulting to the sending process's ambient context)
+        is stamped onto the delivered envelope."""
         src_name = src.name if isinstance(src, Host) else src
         dst_name = dst.name if isinstance(dst, Host) else dst
         mailbox = self.lookup(dst_name, service)
         delay = self.latency(src_name, dst_name, size)
         sent_at = self.sim.now
+        if context is None:
+            context = self.sim.current_context
         delivered = self.sim.event()
 
         def deliver(sim=self.sim):
@@ -145,6 +157,7 @@ class MessageNetwork:
                 size=size,
                 sent_at=sent_at,
                 delivered_at=sim.now,
+                context=context,
             )
             mailbox._deliver(envelope)
             delivered.succeed(envelope)

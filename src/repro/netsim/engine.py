@@ -91,6 +91,9 @@ class SharedBytePool:
         self.done: Event = sim.event()
         self.started_at: Optional[float] = None
         self.completed_at: Optional[float] = None
+        #: request-trace context of the control-plane request that opened
+        #: this transfer (None for untraced transfers)
+        self.context = None
         # Set by the engine that serves this pool; used to settle lazily
         # evaluated stretched ticks before the pool is observed.
         self._engine: Optional["NetworkEngine"] = None
@@ -178,6 +181,8 @@ class Flow:
         self.pool = pool
         self.tcp = tcp
         self.rate_cap = rate_cap
+        #: request-trace context (stamped by the engine at open_flow time)
+        self.context = None
         self.base_rtt = 2.0 * sum(link.delay for link in path)
         self.delivered = 0.0
         self.loss_pending = False
@@ -275,9 +280,12 @@ class NetworkEngine:
 
     # -- public API --------------------------------------------------------
     def new_pool(self, size: float) -> SharedBytePool:
-        """A fresh byte pool for a transfer of ``size`` bytes."""
+        """A fresh byte pool for a transfer of ``size`` bytes.  The pool is
+        stamped with the ambient request-trace context, tying the data-plane
+        transfer to the control-plane request that initiated it."""
         pool = SharedBytePool(self.sim, size)
         pool._engine = self
+        pool.context = self.sim.current_context
         return pool
 
     def open_flow(
@@ -315,6 +323,10 @@ class NetworkEngine:
             name=name,
             flow_id=self._flow_seq,
         )
+        # trace stamping: a flow inherits its pool's context (the pool was
+        # created under the initiating request) or the ambient one
+        flow.context = pool.context if pool.context is not None \
+            else self.sim.current_context
         if pool.started_at is None:
             pool.started_at = self.sim.now
         flow.next_round_at = self.sim.now + max(flow.base_rtt, self.MIN_RTT)

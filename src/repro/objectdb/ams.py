@@ -82,8 +82,6 @@ class RemoteObjectReader:
     coroutines returning a :class:`Process`.
     """
 
-    _ids = 0
-
     def __init__(
         self,
         sim: Simulator,
@@ -91,7 +89,6 @@ class RemoteObjectReader:
         local_host: Host,
         server: AmsPageServer,
     ):
-        RemoteObjectReader._ids += 1
         self.sim = sim
         self.msgnet = msgnet
         self.local_host = local_host
@@ -99,7 +96,7 @@ class RemoteObjectReader:
         self.monitor = Monitor()
         self._cached_pages: set[tuple[int, int, int]] = set()
         self._local_layout = ObjectReader(server.federation)
-        self.reply_service = f"ams-client-{RemoteObjectReader._ids}"
+        self.reply_service = f"ams-client-{sim.next_serial('ams-client')}"
         self._mailbox = msgnet.register(local_host, self.reply_service)
         self._request_counter = 0
 

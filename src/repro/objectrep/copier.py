@@ -21,9 +21,6 @@ from repro.simulation.kernel import Process, Simulator
 
 __all__ = ["CopyCostModel", "CopyResult", "ObjectCopier"]
 
-#: db_ids for copier-created files; high so they never collide with
-#: production files (a real federation hands these out transactionally).
-_copied_db_ids = itertools.count(100_000)
 
 
 @dataclass(frozen=True)
@@ -65,6 +62,12 @@ class ObjectCopier:
                  cost_model: Optional[CopyCostModel] = None):
         self.federation = federation
         self.cost = cost_model or CopyCostModel()
+        # db_ids for copier-created files start high so they never collide
+        # with production files (a real federation hands these out
+        # transactionally).  Timed copies draw from the simulator's serial
+        # sequence so repeated simulations allocate identical ids; the
+        # untimed path falls back to a per-copier counter.
+        self._local_db_ids = itertools.count(100_000)
 
     def collect(
         self, oids: Iterable[OID], include_closure: bool = False
@@ -93,12 +96,15 @@ class ObjectCopier:
         oids: Iterable[OID],
         file_name: str,
         include_closure: bool = False,
+        db_id: Optional[int] = None,
     ) -> CopyResult:
         """Copy objects into a new :class:`DatabaseFile` (untimed)."""
         objects, closure_added = self.collect(oids, include_closure)
         if not objects:
             raise ValueError("nothing to copy")
-        new_db = DatabaseFile(next(_copied_db_ids), file_name)
+        if db_id is None:
+            db_id = next(self._local_db_ids)
+        new_db = DatabaseFile(db_id, file_name)
         container = new_db.create_container("copied")
         # first pass: allocate OIDs so cross-references can be remapped
         oid_map = {
@@ -127,8 +133,10 @@ class ObjectCopier:
         """Timed variant: charges the §5.3 CPU/disk cost before returning
         the :class:`CopyResult`."""
 
+        db_id = sim.next_serial("copied-db-id", 100_000)
+
         def run():
-            result = self.copy(oids, file_name, include_closure)
+            result = self.copy(oids, file_name, include_closure, db_id=db_id)
             yield sim.timeout(
                 self.cost.copy_time(result.bytes_copied, result.objects_copied)
             )

@@ -13,7 +13,6 @@ into their own view.
 
 from __future__ import annotations
 
-import itertools
 from typing import Optional
 
 from repro.gdmp.grid import GdmpSite
@@ -22,8 +21,6 @@ from repro.objectrep.index import GlobalObjectIndex
 from repro.simulation.kernel import Process
 
 __all__ = ["IndexService"]
-
-_snapshot_serials = itertools.count(1)
 
 
 class IndexService:
@@ -43,7 +40,7 @@ class IndexService:
         sim = self.site.sim
 
         def run():
-            serial = next(_snapshot_serials)
+            serial = sim.next_serial("index-snapshot")
             lfn = f"index.{self.site.name}.{serial:06d}.idx"
             payload = self.index.to_index_payload()
             size = max(self.index.estimated_size, 96.0)

@@ -17,7 +17,6 @@ chunk *k* (the EXP-OBJ2 ablation switches it off).
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -29,8 +28,6 @@ from repro.simulation.kernel import Process
 from repro.simulation.monitor import Monitor
 
 __all__ = ["ObjectReplicationReport", "ObjectReplicator"]
-
-_copy_file_ids = itertools.count(1)
 
 
 @dataclass(frozen=True)
@@ -119,7 +116,7 @@ class ObjectReplicator:
                     copy_started = sim.now
                     result = yield copier.copy_timed(
                         sim, [e.oid for e in chunk],
-                        f"objcopy.{next(_copy_file_ids):06d}.db",
+                        f"objcopy.{sim.next_serial('objcopy-file'):06d}.db",
                     )
                     copy_time += sim.now - copy_started
                     useful_bytes += result.bytes_copied

@@ -1,0 +1,48 @@
+"""The control-plane service bus.
+
+One request/reply implementation — dispatch, middleware, timeouts, trace
+propagation — shared by GDMP's Request Manager, the GridFTP control
+channel, and the replica catalog service.  See DESIGN.md, "Control plane:
+service bus and middleware".
+"""
+
+from repro.services.bus import (
+    DEFAULT_MESSAGE_SIZE,
+    CallOutcome,
+    CallTimeout,
+    RemoteCallError,
+    ServiceClient,
+    ServiceEndpoint,
+    ServiceError,
+    ServiceFault,
+    ServiceRequest,
+)
+from repro.services.context import RequestContext
+from repro.services.middleware import (
+    AuthResult,
+    DeadlineMiddleware,
+    GsiAuthenticator,
+    GsiAuthMiddleware,
+    ServerMonitorMiddleware,
+)
+from repro.services.tracelog import Span, TraceLog
+
+__all__ = [
+    "DEFAULT_MESSAGE_SIZE",
+    "AuthResult",
+    "CallOutcome",
+    "CallTimeout",
+    "DeadlineMiddleware",
+    "GsiAuthenticator",
+    "GsiAuthMiddleware",
+    "RemoteCallError",
+    "RequestContext",
+    "ServerMonitorMiddleware",
+    "ServiceClient",
+    "ServiceEndpoint",
+    "ServiceError",
+    "ServiceFault",
+    "ServiceRequest",
+    "Span",
+    "TraceLog",
+]

@@ -1,0 +1,494 @@
+"""The service bus: one dispatch/reply/timeout implementation for every
+control-plane service.
+
+GDMP's §4.1 Request Manager, the GridFTP control channel, and the replica
+catalog service are all request/reply conversations over the simulated
+message network.  This module provides the single implementation they
+share:
+
+* :class:`ServiceEndpoint` — a (host, service) mailbox with an operation
+  dispatch table behind a composable middleware chain (see
+  :mod:`repro.services.middleware`);
+* :class:`ServiceClient` — correlated request/reply with per-call
+  timeouts, late-reply discarding, and client-side trace spans;
+* :class:`ServiceError` / :class:`ServiceFault` — the two ways a handler
+  fails a request: a clean message fault, or a protocol-specific payload
+  (e.g. a GridFTP ``Reply`` with an FTP error code).
+
+Every request and reply carries a :class:`RequestContext`; endpoints open
+server spans as children of the caller's span and install the context as
+the handler process's ambient context, so nested calls and spawned network
+flows join the same trace automatically.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from types import GeneratorType
+from typing import Any, Callable, Generator, Optional
+
+from repro.netsim.channels import Envelope, MessageNetwork
+from repro.netsim.topology import Host
+from repro.services.context import RequestContext
+from repro.services.tracelog import Span, TraceLog
+from repro.simulation.kernel import Event, Process, Simulator
+from repro.simulation.monitor import Monitor
+from repro.simulation.resources import Store
+
+__all__ = [
+    "DEFAULT_MESSAGE_SIZE",
+    "ServiceError",
+    "ServiceFault",
+    "RemoteCallError",
+    "CallTimeout",
+    "CallOutcome",
+    "ServiceRequest",
+    "ServiceEndpoint",
+    "ServiceClient",
+]
+
+#: Default control-message size in bytes (one small framed request).
+DEFAULT_MESSAGE_SIZE = 512
+
+_TIMED_OUT = object()
+
+
+class ServiceError(Exception):
+    """A clean operation failure: mapped to a fault reply whose payload is
+    the error message (and re-raised at the caller as a remote error)."""
+
+
+class ServiceFault(Exception):
+    """A failure with a protocol-specific reply payload.
+
+    Raised by middleware or handlers that must answer in their protocol's
+    own vocabulary — e.g. the GridFTP session gate faults with a
+    ``Reply(503, ...)`` object rather than a bare string.
+    """
+
+    def __init__(self, payload: Any):
+        super().__init__(repr(payload))
+        self.payload = payload
+
+
+class RemoteCallError(ServiceError):
+    """Default client-side mapping of a fault reply."""
+
+    def __init__(self, operation: str, server: str, message: str):
+        super().__init__(f"{operation}@{server}: {message}")
+        self.operation = operation
+        self.server = server
+        self.remote_message = message
+
+
+class CallTimeout(ServiceError):
+    """Default client-side mapping of a missing reply."""
+
+    def __init__(self, operation: str, server: str, timeout: float):
+        super().__init__(f"{operation}@{server}: no reply within {timeout}s")
+        self.operation = operation
+        self.server = server
+        self.timeout = timeout
+
+
+@dataclass
+class CallOutcome:
+    """What one bus call produced."""
+
+    ok: bool
+    payload: Any
+    preliminaries: list = field(default_factory=list)
+    context: Optional[RequestContext] = None
+
+
+#: A server middleware: ``middleware(request, call_next)`` returning a
+#: generator; ``call_next(request)`` invokes the rest of the chain.
+Middleware = Callable[["ServiceRequest", Callable], Generator]
+
+#: A terminal handler: ``handler(request)`` returning a generator.
+Handler = Callable[["ServiceRequest"], Generator]
+
+
+class ServiceRequest:
+    """One in-flight request as seen by middleware and handlers."""
+
+    def __init__(
+        self,
+        endpoint: "ServiceEndpoint",
+        envelope: Envelope,
+        request_id: int,
+        operation: str,
+        payload: Any,
+        meta: dict,
+        reply_service: str,
+        context: Optional[RequestContext],
+    ):
+        self.endpoint = endpoint
+        self.envelope = envelope
+        self.request_id = request_id
+        self.operation = operation
+        self.payload = payload
+        self.meta = meta
+        self.reply_service = reply_service
+        self.context = context
+        #: middleware scratch space (auth result, session, ...)
+        self.state: dict[str, Any] = {}
+
+    @property
+    def caller_host(self) -> str:
+        return self.envelope.src
+
+    @property
+    def sim(self) -> Simulator:
+        return self.endpoint.sim
+
+    def preliminary(self, payload: Any) -> Event:
+        """Send a non-final reply (a GridFTP 1xx marker, a progress note).
+        Returns the delivery event; callers may yield it to pace on the
+        control channel or ignore it to fire-and-forget."""
+        return self.endpoint._respond(self, ok=True, payload=payload,
+                                      final=False)
+
+
+class ServiceEndpoint:
+    """Server half of the bus: a dispatch table behind middleware."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        msgnet: MessageNetwork,
+        host: Host,
+        service: str,
+        *,
+        middlewares: tuple = (),
+        tracelog: Optional[TraceLog] = None,
+        monitor: Optional[Monitor] = None,
+        message_size: int = DEFAULT_MESSAGE_SIZE,
+        unknown_operation: Optional[Callable[["ServiceRequest"], Exception]] = None,
+        process_name: Optional[str] = None,
+    ):
+        self.sim = sim
+        self.msgnet = msgnet
+        self.host = host
+        self.service = service
+        self.tracelog = tracelog
+        self.monitor = monitor if monitor is not None else Monitor()
+        self.message_size = message_size
+        self._unknown_operation = unknown_operation or (
+            lambda request: ServiceError(
+                f"unknown operation {request.operation!r}"
+            )
+        )
+        self._handlers: dict[str, Handler] = {}
+        self._chain = self._build_chain(tuple(middlewares))
+        self._mailbox = msgnet.register(host, service)
+        sim.spawn(
+            self._serve(),
+            name=process_name or f"{service}@{host.name}",
+        )
+
+    # -- registration ----------------------------------------------------
+    def register(self, operation: str, handler: Handler) -> None:
+        """Bind a handler generator to an operation name."""
+        if operation in self._handlers:
+            raise ValueError(f"handler for {operation!r} already registered")
+        self._handlers[operation] = handler
+
+    def _build_chain(self, middlewares: tuple):
+        def terminal(request: ServiceRequest):
+            handler = self._handlers.get(request.operation)
+            if handler is None:
+                raise self._unknown_operation(request)
+            result = handler(request)
+            if isinstance(result, GeneratorType):
+                # coroutine handler: drive it inside the request process
+                result = yield from result
+            return result
+
+        chain = terminal
+        for middleware in reversed(middlewares):
+            def stage(request, _mw=middleware, _next=chain):
+                return _mw(request, _next)
+            chain = stage
+        return chain
+
+    # -- serving ---------------------------------------------------------
+    def _serve(self):
+        while True:
+            envelope = yield self._mailbox.get()
+            self.sim.spawn(
+                self._handle(envelope),
+                name=f"{self.service}-req@{self.host.name}",
+            )
+
+    def _respond(
+        self,
+        request: ServiceRequest,
+        ok: bool,
+        payload: Any,
+        final: bool = True,
+    ) -> Event:
+        return self.msgnet.send(
+            self.host,
+            request.caller_host,
+            request.reply_service,
+            payload={
+                "request_id": request.request_id,
+                "ok": ok,
+                "final": final,
+                "payload": payload,
+            },
+            size=self.message_size,
+            context=request.context,
+        )
+
+    def _handle(self, envelope: Envelope):
+        body = envelope.payload
+        request = ServiceRequest(
+            endpoint=self,
+            envelope=envelope,
+            request_id=body["request_id"],
+            operation=body["operation"],
+            payload=body["payload"],
+            meta=body.get("meta") or {},
+            reply_service=body["reply_service"],
+            context=RequestContext.from_wire(body.get("context")),
+        )
+        span: Optional[Span] = None
+        if self.tracelog is not None:
+            span = self.tracelog.begin(
+                f"{self.service}:{request.operation}",
+                parent=request.context,
+                kind="server",
+                host=self.host.name,
+                service=self.service,
+            )
+            deadline = (
+                request.context.deadline if request.context is not None
+                else None
+            )
+            request.context = span.context.with_deadline(deadline)
+        # Everything this handler spawns — nested calls, transfers, flows —
+        # inherits the request's context through the ambient mechanism.
+        self.sim.active_process.context = request.context
+        try:
+            result = yield from self._chain(request)
+        except ServiceFault as fault:
+            if span is not None:
+                self.tracelog.finish(span, "error", detail=str(fault))
+            yield self._respond(request, ok=False, payload=fault.payload)
+            return
+        except ServiceError as exc:
+            if span is not None:
+                self.tracelog.finish(span, "error", detail=str(exc))
+            yield self._respond(request, ok=False, payload=str(exc))
+            return
+        except Exception as exc:  # handler bug or substrate error: surface it
+            self.monitor.count("handler_errors")
+            if span is not None:
+                self.tracelog.finish(
+                    span, "error", detail=f"{type(exc).__name__}: {exc}"
+                )
+            yield self._respond(
+                request, ok=False, payload=f"{type(exc).__name__}: {exc}"
+            )
+            return
+        if span is not None:
+            self.tracelog.finish(span, "ok")
+        yield self._respond(request, ok=True, payload=result)
+
+
+class ServiceClient:
+    """Client half of the bus: correlated calls with timeouts and traces."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        msgnet: MessageNetwork,
+        host: Host,
+        service: str,
+        *,
+        reply_service: Optional[str] = None,
+        tracelog: Optional[TraceLog] = None,
+        monitor: Optional[Monitor] = None,
+        message_size: int = DEFAULT_MESSAGE_SIZE,
+        default_timeout: Optional[float] = None,
+        remote_error: Callable[[str, str, str], Exception] = RemoteCallError,
+        timeout_error: Callable[[str, str, float], Exception] = CallTimeout,
+    ):
+        self.sim = sim
+        self.msgnet = msgnet
+        self.host = host
+        self.service = service
+        self.tracelog = tracelog
+        self.monitor = monitor if monitor is not None else Monitor()
+        self.message_size = message_size
+        self.default_timeout = default_timeout
+        self.remote_error = remote_error
+        self.timeout_error = timeout_error
+        if reply_service is None:
+            # Per-simulator serial, not a module global: back-to-back
+            # simulations in one process name their endpoints identically.
+            reply_service = (
+                f"{service}-reply-{sim.next_serial(f'bus-client:{service}')}"
+            )
+        self.reply_service = reply_service
+        self._mailbox = msgnet.register(host, reply_service)
+        self._request_ids = itertools.count(1)
+        self._pending: dict[int, Store] = {}
+        self._abandoned: set[int] = set()
+        sim.spawn(
+            self._dispatch(), name=f"{reply_service}-dispatch@{host.name}"
+        )
+
+    # -- reply routing ---------------------------------------------------
+    def _dispatch(self):
+        """Route replies to the store of the call they answer.  Replies to
+        timed-out calls are discarded (and counted); replies to requests
+        nobody ever waited on (markers after a final) are dropped, as a
+        real client drops data for a closed control channel."""
+        while True:
+            envelope = yield self._mailbox.get()
+            body = envelope.payload
+            request_id = body["request_id"]
+            store = self._pending.get(request_id)
+            if store is not None:
+                store.put(body)
+            elif request_id in self._abandoned:
+                self.monitor.count("late_replies_discarded")
+                if body.get("final", True):
+                    self._abandoned.discard(request_id)
+
+    # -- calling ---------------------------------------------------------
+    def invoke(
+        self,
+        server_host: str,
+        operation: str,
+        payload: Any = None,
+        *,
+        size: Optional[int] = None,
+        timeout: Optional[float] = None,
+        context: Optional[RequestContext] = None,
+        meta: Optional[dict] = None,
+        raise_on_fault: bool = True,
+    ):
+        """Generator: issue one call and wait for its final reply.
+
+        Must be driven from a simulation process (``yield from``); use
+        :meth:`call` for a spawned-process wrapper.  Returns a
+        :class:`CallOutcome`; with ``raise_on_fault`` a fault reply whose
+        payload is a string raises ``remote_error`` instead.
+        """
+        if timeout is None:
+            timeout = self.default_timeout
+        parent = context if context is not None else self.sim.current_context
+        span: Optional[Span] = None
+        if self.tracelog is not None:
+            span = self.tracelog.begin(
+                f"{self.service}:{operation}",
+                parent=parent,
+                kind="client",
+                host=self.host.name,
+                service=self.service,
+            )
+            ctx: Optional[RequestContext] = span.context
+            if parent is not None:
+                ctx = ctx.with_deadline(parent.deadline)
+        else:
+            ctx = parent
+        if ctx is not None:
+            if timeout is not None:
+                ctx = ctx.with_deadline(self.sim.now + timeout)
+            elif ctx.deadline is not None:
+                # no explicit timeout: inherit the caller's remaining budget
+                timeout = max(ctx.deadline - self.sim.now, 0.0)
+
+        request_id = next(self._request_ids)
+        store = Store(self.sim)
+        self._pending[request_id] = store
+        self.monitor.count("calls")
+        self.msgnet.send(
+            self.host,
+            server_host,
+            self.service,
+            payload={
+                "request_id": request_id,
+                "operation": operation,
+                "payload": payload,
+                "reply_service": self.reply_service,
+                "context": None if ctx is None else ctx.to_wire(),
+                "meta": meta or {},
+            },
+            size=self.message_size if size is None else size,
+            context=ctx,
+        )
+        deadline_at = None if timeout is None else self.sim.now + timeout
+        preliminaries: list = []
+        while True:
+            if deadline_at is None:
+                body = yield store.get()
+            else:
+                remaining = max(deadline_at - self.sim.now, 0.0)
+                body = yield self.sim.any_of(
+                    [store.get(),
+                     self.sim.timeout(remaining, value=_TIMED_OUT)]
+                )
+            if body is _TIMED_OUT:
+                self._discard(request_id)
+                self.monitor.count("call_timeouts")
+                if span is not None:
+                    self.tracelog.finish(span, "timeout")
+                raise self.timeout_error(operation, server_host, timeout)
+            if not body.get("final", True):
+                preliminaries.append(body["payload"])
+                continue
+            break
+        self._pending.pop(request_id, None)
+        outcome = CallOutcome(
+            ok=body["ok"],
+            payload=body["payload"],
+            preliminaries=preliminaries,
+            context=ctx,
+        )
+        if not outcome.ok:
+            self.monitor.count("call_failures")
+            if span is not None:
+                self.tracelog.finish(span, "error", detail=str(outcome.payload))
+            if raise_on_fault and isinstance(outcome.payload, str):
+                raise self.remote_error(operation, server_host, outcome.payload)
+            return outcome
+        if span is not None:
+            self.tracelog.finish(span, "ok")
+        return outcome
+
+    def call(
+        self,
+        server_host: str,
+        operation: str,
+        payload: Any = None,
+        **kwargs: Any,
+    ) -> Process:
+        """Spawned-process convenience over :meth:`invoke`: the process's
+        value is the final reply payload."""
+
+        def run():
+            outcome = yield from self.invoke(
+                server_host, operation, payload, **kwargs
+            )
+            return outcome.payload
+
+        return self.sim.spawn(
+            run(), name=f"{self.service}-call {operation}@{server_host}"
+        )
+
+    def _discard(self, request_id: int) -> None:
+        """Timeout cleanup: drop the pending entry and remember the id so
+        the eventual late reply is discarded, never misdelivered."""
+        store = self._pending.pop(request_id, None)
+        if store is not None:
+            # a reply may have raced in at this very instant: drain it
+            while len(store):
+                store.get()
+                self.monitor.count("late_replies_discarded")
+        self._abandoned.add(request_id)

@@ -1,0 +1,78 @@
+"""Request context: the trace identity carried by every control message.
+
+A :class:`RequestContext` names one *span* (a timed unit of work) inside
+one *trace* (the causal chain started by a top-level operation such as a
+``replicate`` call).  The service bus attaches the caller's context to
+every :class:`~repro.netsim.channels.Envelope`, and every endpoint opens a
+child span for the work it does on behalf of the caller, so a single trace
+id spans the whole GDMP server -> GridFTP control channel -> catalog hop
+chain and is stamped onto the network flows the request spawns.
+
+The context also carries an optional absolute ``deadline`` (simulation
+time).  Client timeouts set it; the server-side deadline middleware sheds
+requests that arrive already expired, and nested calls inherit the
+remaining budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["RequestContext"]
+
+
+@dataclass(frozen=True)
+class RequestContext:
+    """One span's identity within a trace, plus propagated call metadata."""
+
+    trace_id: str
+    span_id: str
+    parent_id: Optional[str] = None
+    deadline: Optional[float] = None
+
+    def child(self, span_id: str) -> "RequestContext":
+        """A context for a child span: same trace, this span as parent."""
+        return RequestContext(
+            trace_id=self.trace_id,
+            span_id=span_id,
+            parent_id=self.span_id,
+            deadline=self.deadline,
+        )
+
+    def with_deadline(self, deadline: Optional[float]) -> "RequestContext":
+        """The same span identity with a (tightened) deadline attached.
+        ``None`` keeps the existing deadline — a deadline can only ever
+        shrink as it propagates down a call chain."""
+        if deadline is None:
+            return self
+        if self.deadline is not None:
+            deadline = min(deadline, self.deadline)
+        return RequestContext(
+            trace_id=self.trace_id,
+            span_id=self.span_id,
+            parent_id=self.parent_id,
+            deadline=deadline,
+        )
+
+    # -- wire form -------------------------------------------------------
+    def to_wire(self) -> dict:
+        """The dict shipped inside request/reply bodies."""
+        wire = {"trace_id": self.trace_id, "span_id": self.span_id}
+        if self.parent_id is not None:
+            wire["parent_id"] = self.parent_id
+        if self.deadline is not None:
+            wire["deadline"] = self.deadline
+        return wire
+
+    @staticmethod
+    def from_wire(wire: Optional[dict]) -> Optional["RequestContext"]:
+        """Rebuild a context from its wire form (None passes through)."""
+        if wire is None:
+            return None
+        return RequestContext(
+            trace_id=wire["trace_id"],
+            span_id=wire["span_id"],
+            parent_id=wire.get("parent_id"),
+            deadline=wire.get("deadline"),
+        )

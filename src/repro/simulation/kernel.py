@@ -144,6 +144,13 @@ class Process(Event):
     """A running coroutine.  A process is itself an event that triggers
     (with the generator's return value) when the coroutine finishes, so
     processes can wait on each other by yielding them.
+
+    Every process carries an ambient ``context`` (a request-trace context,
+    or ``None``), inherited from the process that spawned it.  The service
+    bus sets it on RPC handler processes so that any work spawned while
+    serving a request — nested calls, transfers, network flows — can be
+    attributed to the originating trace without threading a context
+    argument through every call signature.
     """
 
     def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
@@ -151,6 +158,8 @@ class Process(Event):
             raise TypeError(f"spawn() needs a generator, got {generator!r}")
         super().__init__(sim)
         self.name = name or getattr(generator, "__name__", "process")
+        active = sim.active_process
+        self.context: Any = active.context if active is not None else None
         self._generator = generator
         self._waiting_on: Optional[Event] = None
         _Initialize(sim, self)
@@ -295,6 +304,7 @@ class Simulator:
         self._seq = 0
         self._active_process: Optional[Process] = None
         self._crashed_processes: list[tuple[Process, BaseException]] = []
+        self._serials: dict[str, int] = {}
 
     # -- clock -----------------------------------------------------------
     @property
@@ -305,6 +315,24 @@ class Simulator:
     @property
     def active_process(self) -> Optional[Process]:
         return self._active_process
+
+    @property
+    def current_context(self) -> Any:
+        """The ambient request context of the running process (or None)."""
+        process = self._active_process
+        return process.context if process is not None else None
+
+    def next_serial(self, name: str, start: int = 1) -> int:
+        """Next value of a named per-simulator id sequence.
+
+        Replaces module-global ``itertools.count`` instances: sequences
+        scoped to the simulator restart from ``start`` in every fresh
+        simulation, so back-to-back runs in one process produce identical
+        identifiers.
+        """
+        value = self._serials.get(name, start)
+        self._serials[name] = value + 1
+        return value
 
     # -- event construction ----------------------------------------------
     def event(self) -> Event:

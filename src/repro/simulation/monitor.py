@@ -116,3 +116,25 @@ class Monitor:
                     out[f"{name}.avg"] = avg
                 out[f"{name}.max"] = series.maximum()
         return out
+
+    def snapshot(self) -> dict:
+        """A deterministic, JSON-friendly fingerprint of everything
+        recorded: sorted counters, per-trace event tuples, and per-series
+        sample points.  Two identical simulations produce equal
+        snapshots — the determinism gate diffs these."""
+        return {
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "traces": {
+                name: [
+                    (time, label, repr(payload))
+                    for time, label, payload in self.traces[name]
+                ]
+                for name in sorted(self.traces)
+            },
+            "series": {
+                name: list(
+                    zip(self.series[name].times, self.series[name].values)
+                )
+                for name in sorted(self.series)
+            },
+        }

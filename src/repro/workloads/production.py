@@ -9,7 +9,6 @@ to the site's MSS, leaving the disk-pool copy as the serving cache.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 
 import numpy as np
@@ -20,8 +19,6 @@ from repro.objectdb import DatabaseFile
 from repro.simulation.kernel import Process
 
 __all__ = ["ProductionReport", "ProductionRun"]
-
-_production_db_ids = itertools.count(10_000)
 
 
 @dataclass(frozen=True)
@@ -63,8 +60,11 @@ class ProductionRun:
         self.rng = np.random.Generator(np.random.PCG64(seed))
 
     def _make_database(self, index: int, size: float) -> DatabaseFile:
+        # db_ids are a per-simulator serial (not a module global), so
+        # back-to-back runs in one process hand out identical ids
         db = DatabaseFile(
-            next(_production_db_ids), f"{self.run_name}.{index:04d}.db"
+            self.site.sim.next_serial("production-db-id", 10_000),
+            f"{self.run_name}.{index:04d}.db",
         )
         container = db.create_container("digis")
         object_size = size / self.objects_per_file

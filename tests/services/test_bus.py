@@ -1,0 +1,259 @@
+"""Tests for the service bus: dispatch, middleware, faults, timeouts."""
+
+import pytest
+
+from repro.netsim import cern_anl_testbed
+from repro.netsim.channels import MessageNetwork
+from repro.services import (
+    CallTimeout,
+    DeadlineMiddleware,
+    RemoteCallError,
+    ServiceClient,
+    ServiceEndpoint,
+    ServiceError,
+    ServiceFault,
+    TraceLog,
+)
+from repro.simulation.monitor import Monitor
+
+
+@pytest.fixture
+def net():
+    sim, topo, _engine = cern_anl_testbed()
+    return sim, MessageNetwork(sim, topo)
+
+
+def make_pair(sim, msgnet, middlewares=(), tracelog=None, **client_kwargs):
+    endpoint = ServiceEndpoint(
+        sim,
+        msgnet,
+        msgnet.topology.host("cern"),
+        "svc",
+        middlewares=middlewares,
+        tracelog=tracelog,
+    )
+    client = ServiceClient(
+        sim,
+        msgnet,
+        msgnet.topology.host("anl"),
+        "svc",
+        tracelog=tracelog,
+        **client_kwargs,
+    )
+    return endpoint, client
+
+
+def test_round_trip_with_generator_and_plain_handlers(net):
+    sim, msgnet = net
+    endpoint, client = make_pair(sim, msgnet)
+
+    def echo(request):
+        yield sim.timeout(0.01)
+        return {"echo": request.payload}
+
+    endpoint.register("echo", echo)
+    endpoint.register("plain", lambda request: request.payload * 2)
+
+    assert sim.run(until=client.call("cern", "echo", "hi")) == {"echo": "hi"}
+    assert sim.run(until=client.call("cern", "plain", 21)) == 42
+    assert endpoint.monitor.counter("handler_errors") == 0
+    assert client.monitor.counter("calls") == 2
+
+
+def test_unknown_operation_faults(net):
+    sim, msgnet = net
+    _endpoint, client = make_pair(sim, msgnet)
+    with pytest.raises(RemoteCallError, match="unknown operation"):
+        sim.run(until=client.call("cern", "nope"))
+    assert client.monitor.counter("call_failures") == 1
+
+
+def test_service_error_maps_to_remote_error(net):
+    sim, msgnet = net
+    endpoint, client = make_pair(sim, msgnet)
+    endpoint.register(
+        "boom", lambda request: (_ for _ in ()).throw(ServiceError("deliberate"))
+    )
+    with pytest.raises(RemoteCallError, match="deliberate"):
+        sim.run(until=client.call("cern", "boom"))
+
+
+def test_handler_bug_is_surfaced_and_counted(net):
+    sim, msgnet = net
+    endpoint, client = make_pair(sim, msgnet)
+
+    def broken(request):
+        raise KeyError("oops")
+        yield
+
+    endpoint.register("broken", broken)
+    with pytest.raises(RemoteCallError, match="KeyError"):
+        sim.run(until=client.call("cern", "broken"))
+    assert endpoint.monitor.counter("handler_errors") == 1
+
+
+def test_service_fault_carries_protocol_payload(net):
+    sim, msgnet = net
+    endpoint, client = make_pair(sim, msgnet)
+
+    def deny(request):
+        raise ServiceFault({"code": 530, "text": "denied"})
+        yield
+
+    endpoint.register("deny", deny)
+
+    def run():
+        outcome = yield from client.invoke(
+            "cern", "deny", raise_on_fault=False
+        )
+        return outcome
+
+    outcome = sim.run(until=sim.spawn(run()))
+    assert not outcome.ok
+    assert outcome.payload == {"code": 530, "text": "denied"}
+
+
+def test_preliminary_replies_collected_before_final(net):
+    sim, msgnet = net
+    endpoint, client = make_pair(sim, msgnet)
+
+    def progress(request):
+        yield request.preliminary("opening")
+        request.preliminary("halfway")  # fire-and-forget
+        yield sim.timeout(0.5)
+        return "done"
+
+    endpoint.register("progress", progress)
+
+    def run():
+        outcome = yield from client.invoke("cern", "progress")
+        return outcome
+
+    outcome = sim.run(until=sim.spawn(run()))
+    assert outcome.ok and outcome.payload == "done"
+    assert outcome.preliminaries == ["opening", "halfway"]
+
+
+def test_middleware_composes_outermost_first(net):
+    sim, msgnet = net
+    order = []
+
+    def mk(tag):
+        def middleware(request, call_next):
+            order.append(f"{tag}>")
+            result = yield from call_next(request)
+            order.append(f"<{tag}")
+            return result
+
+        return middleware
+
+    endpoint, client = make_pair(sim, msgnet, middlewares=(mk("a"), mk("b")))
+    endpoint.register("op", lambda request: order.append("handler"))
+    sim.run(until=client.call("cern", "op"))
+    assert order == ["a>", "b>", "handler", "<b", "<a"]
+
+
+def test_timeout_raises_and_late_reply_is_discarded(net):
+    """The timeout regression: a timed-out call's late reply must be
+    drained/discarded, never misdelivered to the next request."""
+    sim, msgnet = net
+    endpoint, client = make_pair(sim, msgnet)
+
+    def slow(request):
+        yield sim.timeout(10.0)
+        return "slow-reply"
+
+    endpoint.register("slow", slow)
+    endpoint.register("fast", lambda request: "fast-reply")
+
+    # one-way WAN latency is ~62.5ms, so 0.2s times out while the slow
+    # handler is still working and its reply arrives much later
+    with pytest.raises(CallTimeout, match="no reply within"):
+        sim.run(until=client.call("cern", "slow", timeout=0.2))
+    assert client.monitor.counter("call_timeouts") == 1
+
+    # the next call must see its own reply, not the stale "slow-reply"
+    assert sim.run(until=client.call("cern", "fast")) == "fast-reply"
+    sim.run(until=sim.timeout(30.0))  # let the slow reply arrive and drain
+    assert client.monitor.counter("late_replies_discarded") == 1
+
+
+def test_deadline_middleware_sheds_expired_requests(net):
+    sim, msgnet = net
+    monitor = Monitor()
+    endpoint, client = make_pair(
+        sim, msgnet, middlewares=(DeadlineMiddleware(monitor),),
+        tracelog=TraceLog(sim),
+    )
+
+    def fine(request):
+        return "ok"
+
+    endpoint.register("op", fine)
+    # generous deadline: passes
+    assert sim.run(until=client.call("cern", "op", timeout=5.0)) == "ok"
+    # impossible deadline: the request arrives already expired AND the
+    # client gives up first
+    with pytest.raises(CallTimeout):
+        sim.run(until=client.call("cern", "op", timeout=0.001))
+    sim.run(until=sim.timeout(5.0))
+    assert monitor.counter("deadline_expired") == 1
+
+
+def test_reply_service_names_are_per_simulator(net):
+    """Back-to-back simulations must hand out identical endpoint names."""
+
+    def build():
+        sim, topo, _engine = cern_anl_testbed()
+        msgnet = MessageNetwork(sim, topo)
+        a = ServiceClient(sim, msgnet, topo.host("anl"), "svc")
+        b = ServiceClient(sim, msgnet, topo.host("cern"), "svc")
+        return a.reply_service, b.reply_service
+
+    assert build() == build()
+    assert build() == ("svc-reply-1", "svc-reply-2")
+
+
+def test_trace_spans_link_client_and_server(net):
+    sim, msgnet = net
+    tracelog = TraceLog(sim)
+    endpoint, client = make_pair(sim, msgnet, tracelog=tracelog)
+    endpoint.register("op", lambda request: "ok")
+    sim.run(until=client.call("cern", "op"))
+    client_span = tracelog.find("svc:op", kind="client")
+    server_span = tracelog.find("svc:op", kind="server")
+    assert server_span.trace_id == client_span.trace_id
+    assert server_span.parent_id == client_span.span_id
+    assert client_span.status == "ok" and server_span.status == "ok"
+    assert server_span.end is not None
+    assert client_span.end >= server_span.end  # reply still had to travel
+
+
+def test_nested_calls_share_one_trace(net):
+    """A handler that calls a second service stays in the caller's trace."""
+    sim, msgnet = net
+    tracelog = TraceLog(sim)
+    endpoint, client = make_pair(sim, msgnet, tracelog=tracelog)
+    inner_endpoint = ServiceEndpoint(
+        sim, msgnet, msgnet.topology.host("anl"), "inner", tracelog=tracelog
+    )
+    inner_endpoint.register("leaf", lambda request: "leaf-done")
+    inner_client = ServiceClient(
+        sim, msgnet, msgnet.topology.host("cern"), "inner", tracelog=tracelog
+    )
+
+    def outer(request):
+        outcome = yield from inner_client.invoke("anl", "leaf")
+        return outcome.payload
+
+    endpoint.register("outer", outer)
+    assert sim.run(until=client.call("cern", "outer")) == "leaf-done"
+    assert len(tracelog.trace_ids()) == 1
+    (trace_id,) = tracelog.trace_ids()
+    names = [s.name for s in tracelog.trace(trace_id)]
+    assert names == ["svc:outer", "svc:outer", "inner:leaf", "inner:leaf"]
+    leaf_server = tracelog.find("inner:leaf", kind="server")
+    leaf_client = tracelog.find("inner:leaf", kind="client")
+    outer_server = tracelog.find("svc:outer", kind="server")
+    assert leaf_client.parent_id == outer_server.span_id
+    assert leaf_server.parent_id == leaf_client.span_id

@@ -16,6 +16,9 @@ python -m pytest -x -q
 echo "== determinism: figure5/figure6 vs recorded seed outputs =="
 python -m pytest -x -q tests/experiments/test_recorded_determinism.py
 
+echo "== determinism: back-to-back simulations in one process =="
+python tools/determinism_check.py
+
 echo "== engine microbench (smoke) =="
 python benchmarks/bench_engine_microbench.py --smoke > /dev/null
 python tools/perf_report.py --smoke --output - > /dev/null
