@@ -61,8 +61,9 @@ class GdmpCatalog:
                 return candidate
 
     def lfn_exists(self, lfn: str) -> bool:
-        """Whether the logical file name is already taken."""
-        return lfn in self.catalog.collection_filenames(self.collection)
+        """Whether the logical file name is already taken (O(1), via the
+        directory's equality index rather than a name-list copy)."""
+        return self.catalog.collection_contains(self.collection, lfn)
 
     # -- publishing ---------------------------------------------------------------
     def register_site(self, site: str, url_prefix: Optional[str] = None) -> None:
@@ -114,12 +115,72 @@ class GdmpCatalog:
         self.catalog.add_filename_to_location(self.collection, site, lfn)
         return lfn
 
+    def publish_bulk(self, site: str, files: list[dict]) -> list[str]:
+        """Register a whole file set and its first replicas in one batch.
+
+        ``files`` is a list of dicts with keys ``size``, ``modified``,
+        ``crc``, optional ``lfn`` (None = automatic generation) and
+        optional ``attributes``.  The batch is validated up front (sizes,
+        name syntax, uniqueness against the catalog *and* within the
+        batch), then applied as one bulk directory operation per layer —
+        the in-memory half of "one envelope carrying N registrations".
+        Returns the LFNs in input order.
+        """
+        specs: list[tuple[str, dict]] = []
+        seen: set[str] = set()
+        for item in files:
+            if item.get("size", 0) < 0:
+                raise CatalogError("size must be non-negative")
+            lfn = item.get("lfn")
+            if lfn is not None:
+                if not lfn or "/" in lfn or "," in lfn:
+                    raise CatalogError(f"invalid logical file name {lfn!r}")
+                if lfn in seen or self.lfn_exists(lfn):
+                    raise CatalogError(
+                        f"logical file name {lfn!r} already in use"
+                    )
+            else:
+                lfn = self.generate_lfn()
+            seen.add(lfn)
+            specs.append((lfn, item))
+        self.register_site(site)
+        lfns = [lfn for lfn, _ in specs]
+        self.catalog.bulk_add_filenames_to_collection(self.collection, lfns)
+        self.catalog.bulk_create_logical_file_entries(
+            self.collection,
+            (
+                (
+                    lfn,
+                    {
+                        "size": f"{item.get('size', 0):.0f}",
+                        "modified": f"{item.get('modified', 0):.6f}",
+                        "crc": str(item.get("crc", 0)),
+                        **{
+                            k: str(v)
+                            for k, v in item.get("attributes", {}).items()
+                        },
+                    },
+                )
+                for lfn, item in specs
+            ),
+        )
+        self.catalog.bulk_add_filenames_to_location(self.collection, site, lfns)
+        return lfns
+
     def add_replica(self, lfn: str, site: str) -> None:
         """Record that ``site`` now also holds ``lfn``."""
         if not self.lfn_exists(lfn):
             raise CatalogError(f"unknown logical file {lfn!r}")
         self.register_site(site)
         self.catalog.add_filename_to_location(self.collection, site, lfn)
+
+    def add_replicas(self, lfns: list[str], site: str) -> None:
+        """Record that ``site`` now holds every LFN in the batch."""
+        for lfn in lfns:
+            if not self.lfn_exists(lfn):
+                raise CatalogError(f"unknown logical file {lfn!r}")
+        self.register_site(site)
+        self.catalog.bulk_add_filenames_to_location(self.collection, site, lfns)
 
     def remove_replica(self, lfn: str, site: str) -> None:
         """Remove a replica record; the last removal retires the LFN."""
@@ -128,6 +189,13 @@ class GdmpCatalog:
             # last replica gone: retire the logical file entirely
             self.catalog.delete_logical_file_entry(self.collection, lfn)
             self.catalog.remove_filename_from_collection(self.collection, lfn)
+
+    def remove_replicas(self, lfns: list[str], site: str) -> None:
+        """Remove a batch of replica records at one site (each removal
+        retires its LFN when it was the last copy, as in
+        :meth:`remove_replica`)."""
+        for lfn in lfns:
+            self.remove_replica(lfn, site)
 
     # -- queries --------------------------------------------------------------------
     def locations(self, lfn: str) -> list[dict]:
@@ -145,6 +213,33 @@ class GdmpCatalog:
             attributes={k: v for k, v in attrs.items() if k != "lfn"},
             locations=tuple(self.locations(lfn)),
         )
+
+    def info_bulk(self, lfns: list[str]) -> list[LogicalFileInfo]:
+        """Metadata plus locations for a whole file set, in input order.
+
+        Location membership for the entire batch is resolved in one pass
+        over the location entries (see
+        :meth:`~repro.catalog.replica_catalog.ReplicaCatalog.bulk_locations_of`).
+        """
+        by_lfn = self.catalog.bulk_locations_of(self.collection, lfns)
+        results = []
+        for lfn in lfns:
+            attrs = self.catalog.logical_file_attributes(self.collection, lfn)
+            results.append(
+                LogicalFileInfo(
+                    lfn=lfn,
+                    size=float(attrs.pop("size", "0")),
+                    modified=float(attrs.pop("modified", "0")),
+                    crc=int(attrs.pop("crc", "0")),
+                    attributes={k: v for k, v in attrs.items() if k != "lfn"},
+                    locations=tuple(by_lfn[lfn]),
+                )
+            )
+        return results
+
+    def locations_bulk(self, lfns: list[str]) -> dict[str, list[dict]]:
+        """Physical locations for a whole file set in one pass."""
+        return self.catalog.bulk_locations_of(self.collection, lfns)
 
     def search(self, filter_text: str = "(lfn=*)") -> list[LogicalFileInfo]:
         """Filtered metadata search (§4.2: "Users can specify filters to

@@ -14,11 +14,17 @@ The DN layout mirrors the real catalog::
     cn=<collection>, rc=<catalog>, o=grid             (collection)
     loc=<location>, cn=<c>, rc=<catalog>, o=grid      (location)
     lf=<lfn>, cn=<c>, rc=<catalog>, o=grid            (logical file entry)
+
+Membership questions ("is this LFN in the collection?", "does this
+location hold it?") go through the directory's equality indexes instead of
+copying million-element attribute lists, and the ``bulk_*`` methods batch
+whole file sets into one directory operation each — the building blocks
+the service layer's batched RPCs sit on.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterable, Optional
 
 from repro.catalog.ldapsim import LdapDirectory, LdapError
 
@@ -118,6 +124,28 @@ class ReplicaCatalog:
         self._require_collection(collection)
         return self.directory.get(self.collection_dn(collection)).values("filename")
 
+    def collection_contains(self, collection: str, lfn: str) -> bool:
+        """Index-backed membership: is ``lfn`` registered in the collection?
+
+        O(1) — unlike :meth:`collection_filenames`, which copies the whole
+        name list and is O(collection size).
+        """
+        try:
+            return self.directory.has_value(
+                self.collection_dn(collection), "filename", lfn
+            )
+        except LdapError as exc:
+            raise CatalogError(str(exc)) from exc
+
+    def bulk_add_filenames_to_collection(
+        self, collection: str, lfns: Iterable[str]
+    ) -> None:
+        """Register many logical file names in one directory operation."""
+        self._require_collection(collection)
+        self.directory.modify_add_many(
+            self.collection_dn(collection), "filename", lfns
+        )
+
     # -- locations -------------------------------------------------------------
     def create_location(
         self, collection: str, location: str, hostname: str, url_prefix: str
@@ -149,19 +177,27 @@ class ReplicaCatalog:
         return self.directory.exists(self.location_dn(collection, location))
 
     def list_locations(self, collection: str) -> list[str]:
-        """Names of all locations registered in the collection."""
+        """Names of all locations registered in the collection.
+
+        Served by the ``objectClass`` equality index, so the cost scales
+        with the number of locations — not with the (possibly millions of)
+        logical file entries sharing the collection node.
+        """
         self._require_collection(collection)
         return [
             entry.dn.split(",", 1)[0].split("=", 1)[1]
-            for entry in self.directory.children(self.collection_dn(collection))
-            if entry.dn.startswith("loc=")
+            for entry in self.directory.search(
+                self.collection_dn(collection),
+                "(objectClass=GlobusReplicaLocation)",
+                scope="one",
+            )
         ]
 
     def add_filename_to_location(
         self, collection: str, location: str, lfn: str
     ) -> None:
         """Record that the location holds a replica of the logical file."""
-        if lfn not in self.collection_filenames(collection):
+        if not self.collection_contains(collection, lfn):
             raise CatalogError(
                 f"{lfn!r} is not in collection {collection!r}; register it first"
             )
@@ -169,6 +205,31 @@ class ReplicaCatalog:
         if not self.directory.exists(dn):
             raise CatalogError(f"no location {location!r} in {collection!r}")
         self.directory.modify_add(dn, "filename", lfn)
+
+    def bulk_add_filenames_to_location(
+        self, collection: str, location: str, lfns: Iterable[str]
+    ) -> None:
+        """Record many replicas at one location in one directory operation."""
+        lfns = list(lfns)
+        for lfn in lfns:
+            if not self.collection_contains(collection, lfn):
+                raise CatalogError(
+                    f"{lfn!r} is not in collection {collection!r}; "
+                    f"register it first"
+                )
+        dn = self.location_dn(collection, location)
+        if not self.directory.exists(dn):
+            raise CatalogError(f"no location {location!r} in {collection!r}")
+        self.directory.modify_add_many(dn, "filename", lfns)
+
+    def location_contains(self, collection: str, location: str, lfn: str) -> bool:
+        """Index-backed membership: does the location hold ``lfn``?"""
+        try:
+            return self.directory.has_value(
+                self.location_dn(collection, location), "filename", lfn
+            )
+        except LdapError as exc:
+            raise CatalogError(str(exc)) from exc
 
     def remove_filename_from_location(
         self, collection: str, location: str, lfn: str
@@ -231,10 +292,44 @@ class ReplicaCatalog:
             if k not in ("objectClass",) and v
         }
 
+    def bulk_create_logical_file_entries(
+        self, collection: str, entries: Iterable[tuple[str, dict]]
+    ) -> None:
+        """Create many logical-file attribute entries in one operation.
+
+        ``entries`` yields ``(lfn, attributes)`` pairs.
+        """
+        self._require_collection(collection)
+        try:
+            self.directory.add_many(
+                (
+                    self.logical_file_dn(collection, lfn),
+                    {
+                        "objectClass": ["GlobusReplicaLogicalFile"],
+                        "lfn": [lfn],
+                        **{k: [str(v)] for k, v in attributes.items()},
+                    },
+                )
+                for lfn, attributes in entries
+            )
+        except LdapError as exc:
+            raise CatalogError(str(exc)) from exc
+
     def delete_logical_file_entry(self, collection: str, lfn: str) -> None:
         """Delete a logical file's attribute entry."""
         try:
             self.directory.delete(self.logical_file_dn(collection, lfn))
+        except LdapError as exc:
+            raise CatalogError(str(exc)) from exc
+
+    def bulk_delete_logical_file_entries(
+        self, collection: str, lfns: Iterable[str]
+    ) -> None:
+        """Delete many logical-file attribute entries in one operation."""
+        try:
+            self.directory.delete_many(
+                self.logical_file_dn(collection, lfn) for lfn in lfns
+            )
         except LdapError as exc:
             raise CatalogError(str(exc)) from exc
 
@@ -251,18 +346,39 @@ class ReplicaCatalog:
     def locations_of(self, collection: str, lfn: str) -> list[dict[str, str]]:
         """All physical locations of a logical file (§3.1: "the heart of
         the system").  Each result carries the location name, hostname and
-        the physical URL."""
-        results = []
-        for location in self.list_locations(collection):
-            if lfn in self.location_filenames(collection, location):
-                info = self.location_info(collection, location)
-                results.append(
-                    {
-                        "location": location,
-                        "hostname": info["hostname"],
-                        "url": f"{info['urlPrefix'].rstrip('/')}/{lfn}",
-                    }
-                )
+        the physical URL.  Membership is answered by the equality index,
+        so the cost is O(locations), independent of the file population."""
+        return self.bulk_locations_of(collection, [lfn])[lfn]
+
+    def bulk_locations_of(
+        self, collection: str, lfns: Iterable[str]
+    ) -> dict[str, list[dict[str, str]]]:
+        """Physical locations for a whole set of logical files at once.
+
+        The per-location info entries are read once for the entire batch,
+        so an N-file lookup costs O(locations + N) index probes instead of
+        N independent scans.
+        """
+        self._require_collection(collection)
+        lfns = list(lfns)
+        results: dict[str, list[dict[str, str]]] = {lfn: [] for lfn in lfns}
+        for entry in self.directory.search(
+            self.collection_dn(collection),
+            "(objectClass=GlobusReplicaLocation)",
+            scope="one",
+        ):
+            location = entry.dn.split(",", 1)[0].split("=", 1)[1]
+            hostname = entry.first("hostname", "")
+            prefix = entry.first("urlPrefix", "").rstrip("/")
+            for lfn in lfns:
+                if self.directory.has_value(entry.dn, "filename", lfn):
+                    results[lfn].append(
+                        {
+                            "location": location,
+                            "hostname": hostname,
+                            "url": f"{prefix}/{lfn}",
+                        }
+                    )
         return results
 
     # -- internals --------------------------------------------------------------

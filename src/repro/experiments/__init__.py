@@ -25,6 +25,7 @@ from repro.experiments import (  # noqa: F401
     buffer_sweep,
     catalog_bench,
     catalog_replication_bench,
+    catalog_scale,
     clustering,
     figure5,
     figure6,
@@ -52,6 +53,7 @@ EXPERIMENTS = {
     "legacy": legacy_comparison,
     "clustering": clustering,
     "catalog-replication": catalog_replication_bench,
+    "catalog-scale": catalog_scale,
     "remote-access": remote_access,
 }
 

@@ -45,6 +45,9 @@ def run(lookups: int = 20, seed: int = 2001) -> CatalogReplicationResult:
         seed=seed,
     )
     cern = central.site("cern")
+    # this experiment measures raw deployment latency: the repeated reads
+    # must each pay the round trip, not hit the client-side location cache
+    central.site("caltech").client.catalog.cache_enabled = False
     central.run(until=cern.client.produce_and_publish("f.db", 1 * MB))
     central_read = _timed(
         central,
@@ -58,6 +61,7 @@ def run(lookups: int = 20, seed: int = 2001) -> CatalogReplicationResult:
         seed=seed,
     )
     replicas = enable_catalog_replication(replicated, ["caltech"])
+    replicated.site("caltech").client.catalog.cache_enabled = False
     cern = replicated.site("cern")
     replicated.run(until=cern.client.produce_and_publish("f.db", 1 * MB))
     replicated.run()  # propagate

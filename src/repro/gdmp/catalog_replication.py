@@ -13,6 +13,12 @@ the simulated message channel is FIFO per pair).  Reads are served by the
 local replica when one exists — turning the 1-RTT WAN lookup into a local
 operation, at the cost of a staleness window of roughly one propagation
 delay.
+
+Batched writes propagate as batches: one ``catalog.apply`` envelope per
+replica carries the whole transfer set's registrations.  Applying a write
+also invalidates the co-located site proxy's location cache for the
+affected LFNs, so a site that hosts a replica never serves a cached answer
+older than its own replica copy.
 """
 
 from __future__ import annotations
@@ -25,12 +31,21 @@ __all__ = ["CatalogReplica", "ReplicatedCatalogProxy", "enable_catalog_replicati
 
 READ_OPERATIONS = (
     "locations",
+    "locations_bulk",
     "info",
+    "info_bulk",
     "search",
     "site_files",
     "lfn_exists",
     "list_lfns",
 )
+
+
+def _affected_lfns(operation: str, data: dict) -> list[str]:
+    """The LFNs a propagated write touches (for cache invalidation)."""
+    if operation in ("publish_bulk", "add_replica_bulk", "remove_replica_bulk"):
+        return list(data["lfns"])
+    return [data["lfn"]]
 
 
 class CatalogReplica:
@@ -40,6 +55,9 @@ class CatalogReplica:
         self.site = site
         self.catalog = GdmpCatalog()
         self.applied_writes = 0
+        #: called with the list of affected LFNs after each applied write —
+        #: wired to the co-located proxy's cache invalidation
+        self.apply_listeners: list = []
         # read operations answer from the local copy
         for op in READ_OPERATIONS:
             site.request_server.register(f"catalog.{op}", self._make_read(op))
@@ -53,8 +71,12 @@ class CatalogReplica:
             payload = request.payload
             if op == "locations":
                 return catalog.locations(payload["lfn"])
+            if op == "locations_bulk":
+                return catalog.locations_bulk(list(payload["lfns"]))
             if op == "info":
                 return catalog.info(payload["lfn"])
+            if op == "info_bulk":
+                return catalog.info_bulk(list(payload["lfns"]))
             if op == "search":
                 return catalog.search(payload["filter"])
             if op == "site_files":
@@ -76,7 +98,7 @@ class CatalogReplica:
         yield  # pragma: no cover
 
     def apply(self, operation: str, data: dict) -> None:
-        """Apply one propagated write to the local copy."""
+        """Apply one propagated write (possibly a whole batch) locally."""
         if operation == "publish":
             self.catalog.publish(
                 data["site"],
@@ -86,48 +108,37 @@ class CatalogReplica:
                 lfn=data["lfn"],
                 **data.get("attributes", {}),
             )
+        elif operation == "publish_bulk":
+            # the primary filled in generated LFNs, so this replays exactly
+            self.catalog.publish_bulk(data["site"], data["files"])
         elif operation == "add_replica":
             self.catalog.add_replica(data["lfn"], data["site"])
+        elif operation == "add_replica_bulk":
+            self.catalog.add_replicas(list(data["lfns"]), data["site"])
         elif operation == "remove_replica":
             self.catalog.remove_replica(data["lfn"], data["site"])
+        elif operation == "remove_replica_bulk":
+            self.catalog.remove_replicas(list(data["lfns"]), data["site"])
         else:
             raise GdmpError(f"unknown catalog write {operation!r}")
         self.applied_writes += 1
+        lfns = _affected_lfns(operation, data)
+        for listener in self.apply_listeners:
+            listener(lfns)
 
 
 class ReplicatedCatalogProxy(CatalogProxy):
-    """Writes to the primary, reads from the nearest replica."""
+    """Writes to the primary, reads from the nearest replica.
 
-    def __init__(self, client, primary_host: str, read_host: str):
-        super().__init__(client, primary_host)
+    All routing lives in :class:`CatalogProxy` (every read goes through
+    ``read_host``); this subclass only points ``read_host`` at the replica,
+    so the location cache behaves identically in both deployments.
+    """
+
+    def __init__(self, client, primary_host: str, read_host: str,
+                 cache: bool = True):
+        super().__init__(client, primary_host, cache=cache)
         self.read_host = read_host
-
-    def _read_call(self, operation: str, payload) -> object:
-        return self.client.call(self.read_host, operation, payload)
-
-    def locations(self, lfn):
-        """Read locations from the nearest replica."""
-        return self._read_call("catalog.locations", {"lfn": lfn})
-
-    def info(self, lfn):
-        """Read a logical file's metadata from the nearest replica."""
-        return self._read_call("catalog.info", {"lfn": lfn})
-
-    def search(self, filter_text):
-        """Filtered search against the nearest replica."""
-        return self._read_call("catalog.search", {"filter": filter_text})
-
-    def site_files(self, site):
-        """A site's holdings, read from the nearest replica."""
-        return self._read_call("catalog.site_files", {"site": site})
-
-    def lfn_exists(self, lfn):
-        """Name-in-use check against the nearest replica."""
-        return self._read_call("catalog.lfn_exists", {"lfn": lfn})
-
-    def list_lfns(self):
-        """All LFNs, read from the nearest replica."""
-        return self._read_call("catalog.list_lfns", {})
 
 
 def enable_catalog_replication(grid, replica_sites: list[str]) -> dict:
@@ -136,7 +147,9 @@ def enable_catalog_replication(grid, replica_sites: list[str]) -> dict:
     Replica copies are seeded from the primary's current contents, then
     kept up to date by write propagation.  Every site's client is switched
     to a :class:`ReplicatedCatalogProxy` reading from its nearest replica
-    (its own site when it hosts one, the primary otherwise).
+    (its own site when it hosts one, the primary otherwise).  When a
+    replica applies a propagated write, the co-located proxy's cache is
+    invalidated for the affected LFNs.
 
     Returns ``{site: CatalogReplica}``.
     """
@@ -176,7 +189,14 @@ def enable_catalog_replication(grid, replica_sites: list[str]) -> dict:
 
     for site in grid.sites.values():
         read_host = site.name if site.name in replicas else primary_host
-        site.client.catalog = ReplicatedCatalogProxy(
+        proxy = ReplicatedCatalogProxy(
             site.request_client, primary_host, read_host
         )
+        site.client.catalog = proxy
+        if site.name in replicas:
+            def invalidate(lfns, proxy=proxy):
+                for lfn in lfns:
+                    proxy.invalidate(lfn)
+
+            replicas[site.name].apply_listeners.append(invalidate)
     return replicas

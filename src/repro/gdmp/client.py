@@ -200,8 +200,17 @@ class GdmpClient:
         prefer_site: Optional[str] = None,
         streams: Optional[int] = None,
         tcp_buffer: Optional[int] = None,
+        *,
+        info=None,
+        register: bool = True,
     ) -> Process:
-        """Create a local replica of ``lfn`` (the §4.1 pipeline)."""
+        """Create a local replica of ``lfn`` (the §4.1 pipeline).
+
+        ``info`` and ``register`` exist for :meth:`replicate_set`: a batched
+        caller passes the already-fetched :class:`LogicalFileInfo` (skipping
+        the per-file catalog lookup) and defers the ``add_replica``
+        registration to one bulk flush at the transfer-set boundary.
+        """
 
         def attempt_from(source, info, local_path):
             """One full attempt against one source.  Returns
@@ -266,7 +275,10 @@ class GdmpClient:
             return result
 
         def replicate_body(started):
-            info = yield self.catalog.info(lfn)
+            if info is None:
+                file_info = yield self.catalog.info(lfn)
+            else:
+                file_info = info
             local_path = self.config.storage_path(lfn)
             if self.storage.fs.exists(local_path):
                 raise GdmpError(f"{self.site} already holds {lfn!r}")
@@ -274,12 +286,12 @@ class GdmpClient:
             # source ranking: preferred producer first if it has a replica,
             # then the cost-function order; failed sources are skipped
             # (§4.3's pluggable error recovery: alternate-replica failover)
-            locations = list(info.locations)
+            locations = list(file_info.locations)
             try:
                 candidates = [
                     score.site
                     for score in rank_replicas(
-                        self.topology, locations, self.site, info.size
+                        self.topology, locations, self.site, file_info.size
                     )
                 ]
             except ValueError as exc:
@@ -293,7 +305,7 @@ class GdmpClient:
             for source in candidates:
                 try:
                     report, stage_wait, transfer_duration = yield self.sim.spawn(
-                        attempt_from(source, info, local_path),
+                        attempt_from(source, file_info, local_path),
                         name=f"gdmp-attempt {lfn}@{source}",
                     )
                     break
@@ -306,16 +318,18 @@ class GdmpClient:
                     f"all {len(candidates)} replica sources failed for "
                     f"{lfn!r}: {last_error}"
                 ) from last_error
-            # make the replica visible to the grid
-            yield self.catalog.add_replica(lfn, self.site)
+            # make the replica visible to the grid (a batched caller defers
+            # this to one bulk registration at the transfer-set boundary)
+            if register:
+                yield self.catalog.add_replica(lfn, self.site)
             self.server.record_held(lfn, local_path)
             self.monitor.count("replicated")
-            self.monitor.count("bytes_replicated", info.size)
+            self.monitor.count("bytes_replicated", file_info.size)
             return ReplicationReport(
                 lfn=lfn,
                 source=source,
                 destination=self.site,
-                size=info.size,
+                size=file_info.size,
                 total_duration=self.sim.now - started,
                 transfer_duration=transfer_duration,
                 stage_wait=stage_wait,
@@ -328,6 +342,134 @@ class GdmpClient:
             )
 
         return self.sim.spawn(run(), name=f"gdmp-replicate {lfn}")
+
+    def replicate_set(
+        self,
+        lfns,
+        prefer_site: Optional[str] = None,
+        streams: Optional[int] = None,
+        tcp_buffer: Optional[int] = None,
+    ) -> Process:
+        """Replicate a whole transfer set with batched catalog traffic.
+
+        Where N calls to :meth:`replicate` would pay 2N catalog round
+        trips (info + add_replica per file), this pays two *envelopes* for
+        the whole set: one ``info_bulk`` up front and one bulk
+        ``add_replicas`` flush at the transfer-set boundary.  Files are
+        transferred in order; if one fails, the replicas fetched so far
+        are still registered before the error propagates (no replica is
+        left invisible to the grid).  Returns the list of
+        :class:`ReplicationReport` in input order.
+        """
+        lfns = list(lfns)
+
+        def run():
+            span = self._root_span("gdmp:replicate-set", count=len(lfns))
+            reports: list[ReplicationReport] = []
+            registered: list[str] = []
+            try:
+                if lfns:
+                    infos = yield self.catalog.info_bulk(lfns)
+                    try:
+                        for file_info in infos:
+                            report = yield self.replicate(
+                                file_info.lfn,
+                                prefer_site=prefer_site,
+                                streams=streams,
+                                tcp_buffer=tcp_buffer,
+                                info=file_info,
+                                register=False,
+                            )
+                            reports.append(report)
+                            registered.append(file_info.lfn)
+                    finally:
+                        # flush the deferred registrations in one envelope,
+                        # even when a later file failed mid-set
+                        if registered:
+                            yield self.catalog.add_replicas(
+                                registered, self.site
+                            )
+            except BaseException as exc:
+                if span is not None:
+                    self.tracelog.finish(span, "error", detail=str(exc))
+                raise
+            if span is not None:
+                self.tracelog.finish(span, "ok")
+            return reports
+
+        return self.sim.spawn(run(), name=f"gdmp-replicate-set x{len(lfns)}")
+
+    def publish_set(self, specs) -> Process:
+        """Publish a set of existing local files in one catalog envelope.
+
+        ``specs`` is a list of dicts with keys ``path``, optional ``lfn``
+        (None = automatic generation) and optional ``attributes``.  The
+        whole set registers via one ``publish_bulk`` round trip, and each
+        subscriber receives a single ``notify`` listing every matching
+        file (``attributes`` keyed by LFN).  Returns the LFNs in input
+        order.
+        """
+        specs = list(specs)
+
+        def run():
+            span = self._root_span("gdmp:publish-set", count=len(specs))
+            try:
+                files = []
+                stats = []
+                for spec in specs:
+                    stored = self.storage.fs.stat(spec["path"])
+                    stats.append(stored)
+                    files.append(
+                        {
+                            "size": stored.size,
+                            "modified": stored.created_at,
+                            "crc": stored.crc,
+                            "lfn": spec.get("lfn"),
+                            "attributes": spec.get("attributes", {}),
+                        }
+                    )
+                lfns = []
+                if specs:
+                    lfns = yield self.catalog.publish_bulk(self.site, files)
+                    per_subscriber: dict[str, list[str]] = {}
+                    attrs_by_lfn: dict[str, dict] = {}
+                    for spec, stored, lfn in zip(specs, stats, lfns):
+                        self.server.record_held(lfn, spec["path"])
+                        self.monitor.count("published")
+                        file_attrs = {
+                            "lfn": lfn,
+                            "size": f"{stored.size:.0f}",
+                            **{
+                                k: str(v)
+                                for k, v in spec.get("attributes", {}).items()
+                            },
+                        }
+                        attrs_by_lfn[lfn] = file_attrs
+                        for subscriber in self.server.subscribers_for(file_attrs):
+                            per_subscriber.setdefault(subscriber, []).append(lfn)
+                    # one notification per subscriber for the whole set
+                    for subscriber in sorted(per_subscriber):
+                        matched = per_subscriber[subscriber]
+                        yield self.rpc.call(
+                            subscriber,
+                            "notify",
+                            {
+                                "producer": self.site,
+                                "lfns": matched,
+                                "attributes": {
+                                    lfn: attrs_by_lfn[lfn] for lfn in matched
+                                },
+                            },
+                        )
+            except BaseException as exc:
+                if span is not None:
+                    self.tracelog.finish(span, "error", detail=str(exc))
+                raise
+            if span is not None:
+                self.tracelog.finish(span, "ok")
+            return lfns
+
+        return self.sim.spawn(run(), name=f"gdmp-publish-set x{len(specs)}")
 
     def replicate_consistent(self, lfn: str, policy, **kwargs) -> Process:
         """Replicate ``lfn`` under a consistency policy (§2.2): the policy
@@ -386,11 +528,12 @@ class GdmpClient:
 
         def run():
             remote = yield self.get_remote_catalog(producer)
-            missing = [lfn for lfn in remote if lfn not in self.server.held]
-            reports = []
-            for lfn in sorted(missing):
-                report = yield self.replicate(lfn, prefer_site=producer)
-                reports.append(report)
+            missing = sorted(
+                lfn for lfn in remote if lfn not in self.server.held
+            )
+            # the whole recovery set travels as one transfer set: two
+            # catalog envelopes instead of two per file
+            reports = yield self.replicate_set(missing, prefer_site=producer)
             return reports
 
         return self.sim.spawn(run(), name=f"gdmp-recover-from {producer}")

@@ -120,8 +120,13 @@ class GdmpServer:
         self.monitor.count("notifications")
         client = self.client
         if client is not None and client.config.auto_replicate:
-            for lfn in news["lfns"]:
-                client.replicate(lfn, prefer_site=news["producer"])
+            if len(news["lfns"]) > 1:
+                # a batched announcement is fetched as one transfer set —
+                # two catalog envelopes for the whole batch
+                client.replicate_set(news["lfns"], prefer_site=news["producer"])
+            else:
+                for lfn in news["lfns"]:
+                    client.replicate(lfn, prefer_site=news["producer"])
         else:
             self.pending_news.append(news)
         return True

@@ -1,0 +1,139 @@
+"""Bulk register/lookup/delete across the catalog layers."""
+
+import pytest
+
+from repro.catalog.gdmp_catalog import GdmpCatalog
+from repro.catalog.replica_catalog import CatalogError, ReplicaCatalog
+
+
+# -- ReplicaCatalog (low-level Globus API) ---------------------------------
+
+def test_bulk_create_and_delete_logical_file_entries():
+    rc = ReplicaCatalog()
+    rc.create_collection("c")
+    entries = [(f"f{i}", {"size": str(i)}) for i in range(5)]
+    rc.bulk_create_logical_file_entries("c", entries)
+    for i in range(5):
+        assert rc.logical_file_attributes("c", f"f{i}")["size"] == str(i)
+    rc.bulk_delete_logical_file_entries("c", [f"f{i}" for i in range(5)])
+    with pytest.raises(CatalogError):
+        rc.logical_file_attributes("c", "f0")
+
+
+def test_bulk_add_filenames_and_bulk_locations():
+    rc = ReplicaCatalog()
+    rc.create_collection("c")
+    rc.create_location("c", "cern", hostname="cern",
+                       url_prefix="gsiftp://cern/s")
+    rc.create_location("c", "anl", hostname="anl", url_prefix="gsiftp://anl/s")
+    lfns = [f"f{i}" for i in range(4)]
+    rc.bulk_add_filenames_to_collection("c", lfns)
+    rc.bulk_add_filenames_to_location("c", "cern", lfns)
+    rc.bulk_add_filenames_to_location("c", "anl", lfns[:2])
+    by_lfn = rc.bulk_locations_of("c", lfns)
+    assert sorted(by_lfn) == lfns
+    assert [loc["location"] for loc in by_lfn["f0"]] == ["anl", "cern"]
+    assert [loc["location"] for loc in by_lfn["f3"]] == ["cern"]
+    # bulk agrees with the single-file path
+    for lfn in lfns:
+        assert by_lfn[lfn] == rc.locations_of("c", lfn)
+
+
+def test_bulk_locations_of_requires_the_collection():
+    rc = ReplicaCatalog()
+    with pytest.raises(CatalogError):
+        rc.bulk_locations_of("nope", ["f0"])
+
+
+# -- GdmpCatalog (high-level GDMP wrapper) ---------------------------------
+
+def files(n, **extra):
+    return [
+        {"size": 100.0 + i, "modified": 1.0, "crc": i, "lfn": f"b{i}.db",
+         **extra}
+        for i in range(n)
+    ]
+
+
+def test_publish_bulk_matches_per_file_publish():
+    bulk, single = GdmpCatalog(), GdmpCatalog()
+    bulk.publish_bulk("cern", files(3, attributes={"run": "7"}))
+    for item in files(3):
+        single.publish("cern", size=item["size"], modified=item["modified"],
+                       crc=item["crc"], lfn=item["lfn"], run="7")
+    assert bulk.list_lfns() == single.list_lfns()
+    for lfn in bulk.list_lfns():
+        assert bulk.info(lfn) == single.info(lfn)
+
+
+def test_publish_bulk_generates_missing_lfns_in_order():
+    catalog = GdmpCatalog()
+    specs = files(3)
+    specs[1] = {"size": 1.0, "modified": 0.0, "crc": 9}  # no lfn
+    lfns = catalog.publish_bulk("cern", specs)
+    assert lfns[0] == "b0.db" and lfns[2] == "b2.db"
+    assert catalog.lfn_exists(lfns[1])
+
+
+def test_publish_bulk_rejects_duplicates_within_the_batch():
+    catalog = GdmpCatalog()
+    bad = files(2)
+    bad[1]["lfn"] = bad[0]["lfn"]
+    with pytest.raises(CatalogError):
+        catalog.publish_bulk("cern", bad)
+
+
+def test_publish_bulk_rejects_lfns_already_in_the_catalog():
+    catalog = GdmpCatalog()
+    catalog.publish("cern", size=1.0, modified=0.0, crc=1, lfn="b0.db")
+    with pytest.raises(CatalogError):
+        catalog.publish_bulk("cern", files(2))
+
+
+def test_add_and_remove_replicas_bulk():
+    catalog = GdmpCatalog()
+    lfns = catalog.publish_bulk("cern", files(3))
+    catalog.add_replicas(lfns, "anl")
+    for lfn in lfns:
+        assert {loc["location"] for loc in catalog.locations(lfn)} == {
+            "cern", "anl"
+        }
+    catalog.remove_replicas(lfns, "anl")
+    catalog.remove_replicas(lfns[:1], "cern")
+    # the last removal retired b0.db entirely
+    assert not catalog.lfn_exists(lfns[0])
+    assert catalog.lfn_exists(lfns[1])
+
+
+def test_add_replicas_requires_known_lfns():
+    catalog = GdmpCatalog()
+    catalog.publish_bulk("cern", files(1))
+    with pytest.raises(CatalogError):
+        catalog.add_replicas(["b0.db", "ghost.db"], "anl")
+
+
+def test_info_bulk_matches_info_in_input_order():
+    catalog = GdmpCatalog()
+    lfns = catalog.publish_bulk("cern", files(4))
+    catalog.add_replicas(lfns[:2], "anl")
+    shuffled = [lfns[2], lfns[0], lfns[3], lfns[1]]
+    infos = catalog.info_bulk(shuffled)
+    assert [i.lfn for i in infos] == shuffled
+    for info in infos:
+        assert info == catalog.info(info.lfn)
+
+
+def test_info_bulk_unknown_lfn_raises():
+    catalog = GdmpCatalog()
+    catalog.publish_bulk("cern", files(1))
+    with pytest.raises(CatalogError):
+        catalog.info_bulk(["b0.db", "ghost.db"])
+
+
+def test_locations_bulk_matches_locations():
+    catalog = GdmpCatalog()
+    lfns = catalog.publish_bulk("cern", files(3))
+    catalog.add_replicas(lfns[1:], "anl")
+    by_lfn = catalog.locations_bulk(lfns)
+    for lfn in lfns:
+        assert by_lfn[lfn] == catalog.locations(lfn)

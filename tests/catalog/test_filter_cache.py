@@ -1,0 +1,75 @@
+"""Filter-cache correctness: hits are observable through the stats
+counters, syntax errors are raised (never cached as plans), and eviction
+keeps the cache bounded."""
+
+import pytest
+
+from repro.catalog.ldapsim import FilterSyntaxError, LdapDirectory
+
+
+@pytest.fixture
+def directory():
+    d = LdapDirectory()
+    d.add("o=grid", {"objectClass": ["organization"]})
+    for i in range(10):
+        d.add(f"cn=e{i},o=grid",
+              {"objectClass": ["file"], "run": [f"run{i % 3}"]})
+    return d
+
+
+def test_repeated_searches_hit_the_cache(directory):
+    assert directory.stats["filter_cache_hits"] == 0
+    directory.search("o=grid", "(run=run1)", scope="subtree")
+    assert directory.stats["filter_cache_misses"] == 1
+    assert directory.stats["filter_cache_hits"] == 0
+    for _ in range(5):
+        directory.search("o=grid", "(run=run1)", scope="subtree")
+    assert directory.stats["filter_cache_misses"] == 1
+    assert directory.stats["filter_cache_hits"] == 5
+    # a different filter text is a fresh parse
+    directory.search("o=grid", "(run=run2)", scope="subtree")
+    assert directory.stats["filter_cache_misses"] == 2
+
+
+def test_cache_hits_counted_alongside_operations(directory):
+    before = directory.operations
+    directory.search("o=grid", "(run=run0)", scope="subtree")
+    directory.search("o=grid", "(run=run0)", scope="subtree")
+    # the operations counter still sees every search, cached plan or not
+    assert directory.operations == before + 2
+
+
+@pytest.mark.parametrize(
+    "bad", ["", "(", "(run=run1", "(&)", "run=run1", "(=x)"]
+)
+def test_syntax_errors_raise_and_are_not_cached(directory, bad):
+    for _ in range(2):
+        with pytest.raises(FilterSyntaxError):
+            directory.search("o=grid", bad, scope="subtree")
+        # a broken filter never becomes a cached plan: both attempts miss
+        assert bad not in directory._filter_cache
+    assert directory.stats["filter_cache_hits"] == 0
+
+
+def test_cached_plans_return_identical_results(directory):
+    first = directory.search("o=grid", "(run=run1)", scope="subtree")
+    second = directory.search("o=grid", "(run=run1)", scope="subtree")
+    assert first == second
+    assert directory.stats["filter_cache_hits"] == 1
+
+
+def test_cache_is_bounded(directory):
+    directory.FILTER_CACHE_MAX = 8
+    for i in range(20):
+        directory.search("o=grid", f"(run=only{i})", scope="subtree")
+    assert len(directory._filter_cache) <= 8
+    # evicted entries re-parse without error
+    directory.search("o=grid", "(run=only0)", scope="subtree")
+
+
+def test_index_vs_scan_searches_are_counted(directory):
+    directory.search("o=grid", "(run=run1)", scope="subtree")
+    assert directory.stats["index_searches"] == 1
+    # a presence filter has no equality conjunct to plan: candidate scan
+    directory.search("o=grid", "(run=*)", scope="subtree")
+    assert directory.stats["scan_searches"] == 1

@@ -23,6 +23,13 @@ echo "== engine microbench (smoke) =="
 python benchmarks/bench_engine_microbench.py --smoke > /dev/null
 python tools/perf_report.py --smoke --output - > /dev/null
 
+echo "== catalog: indexed-vs-naive differential =="
+python -m pytest -x -q tests/catalog/test_search_differential.py
+
+echo "== catalog scale (smoke) + regression gate =="
+python benchmarks/bench_catalog_scale.py --smoke > /dev/null
+python tools/perf_report.py --catalog --smoke --output - > /dev/null
+
 if command -v ruff > /dev/null 2>&1; then
     echo "== ruff =="
     ruff check src tests benchmarks tools

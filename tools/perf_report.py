@@ -1,11 +1,19 @@
-"""Regenerate ``BENCH_netsim.json``: engine + sweep performance record.
+"""Regenerate the performance records: engine/sweeps and the catalog.
 
-Times the flow-engine microbench scenarios and the Figure 5/6 sweep
-harnesses on the current tree, compares them against the recorded
+Default mode times the flow-engine microbench scenarios and the Figure 5/6
+sweep harnesses on the current tree, compares them against the recorded
 pre-optimization (seed) numbers, and writes the combined before/after
 record to ``BENCH_netsim.json`` at the repo root::
 
     PYTHONPATH=src python tools/perf_report.py [--smoke] [--output PATH]
+
+``--catalog`` instead measures the catalog layer (index-plan search
+speedup, register throughput, batched-RPC envelope counts — see
+``benchmarks/bench_catalog_scale.py``) and writes ``BENCH_catalog.json``.
+Catalog runs are *gated*: machine-portable ratio metrics (search speedup,
+envelope reduction) are compared against the recorded baseline floors and
+the tool exits non-zero when any of them regresses by more than
+``CATALOG_REGRESSION_TOLERANCE``.
 
 ``--smoke`` runs shrunk scenarios and skips the figure sweeps (used by
 ``tools/ci_check.sh`` as a fast sanity gate; it does not overwrite the
@@ -41,6 +49,23 @@ BASELINE = {
 }
 
 MEDIAN_REPS = 5
+
+#: Recorded catalog-layer baseline: conservative floors measured at record
+#: generation (measured values ran 1.2-2x above these on the reference
+#: 1-CPU box, so the 20% gate below has honest headroom against timer
+#: noise while still catching an index or batching regression, which
+#: collapses these ratios by orders of magnitude).  ``envelope_reduction``
+#: is deterministic (simulated RPC counts), so its floor is exact.
+CATALOG_BASELINE = {
+    "recorded": True,
+    "full": {"search_speedup_10000": 150.0, "search_speedup_100000": 200.0,
+             "envelope_reduction": 100.0},
+    "smoke": {"search_speedup_2000": 90.0, "search_speedup_10000": 90.0,
+              "envelope_reduction": 100.0},
+}
+
+#: fail loudly when a gated ratio drops more than this below its baseline
+CATALOG_REGRESSION_TOLERANCE = 0.20
 
 
 def _median_wall(fn) -> float:
@@ -91,28 +116,108 @@ def build_report(smoke: bool = False) -> dict:
     return report
 
 
+def build_catalog_report(smoke: bool = False) -> dict:
+    """Measure the catalog layer and assemble the gated record."""
+    import bench_catalog_scale
+
+    result = bench_catalog_scale.run_bench(smoke=smoke)
+    mode = "smoke" if smoke else "full"
+    current: dict = {
+        "mode": mode,
+        "rows": [
+            {
+                "n_files": row.n_files,
+                "register_files_per_s": row.register_rate,
+                "indexed_search_s": row.indexed_search_s,
+                "naive_search_s": row.naive_search_s,
+                "lfn_lookup_s": row.lfn_lookup_s,
+                "search_speedup": row.search_speedup,
+            }
+            for row in result.rows
+        ],
+        "replicate_files": result.n_replicated,
+        "per_file_envelopes": result.per_file_envelopes,
+        "batched_envelopes": result.batched_envelopes,
+        "envelope_reduction": result.envelope_reduction,
+    }
+    for row in result.rows:
+        current[f"search_speedup_{row.n_files}"] = row.search_speedup
+    return {
+        "generated_by": "tools/perf_report.py --catalog",
+        "protocol": {
+            "search": "wall-clock s/op, equality filters cycled over keys; "
+                      "indexed plan vs retained naive full scan",
+            "envelopes": "client-side catalog.* TraceLog spans for a "
+                         f"{result.n_replicated}-file replicate, per-file "
+                         "vs replicate_set (deterministic simulation)",
+            "baseline": "recorded conservative floors; gate fails ratios "
+                        f">{CATALOG_REGRESSION_TOLERANCE:.0%} below them",
+        },
+        "baseline": CATALOG_BASELINE,
+        "current": current,
+    }
+
+
+def check_catalog_regressions(report: dict) -> list[str]:
+    """Gated ratio metrics more than the tolerance below their baseline."""
+    mode = report["current"]["mode"]
+    floors = report["baseline"].get(mode, {})
+    failures = []
+    for metric, floor in floors.items():
+        measured = report["current"].get(metric)
+        if measured is None:
+            failures.append(f"{metric}: missing from the current record")
+        elif measured < floor * (1.0 - CATALOG_REGRESSION_TOLERANCE):
+            failures.append(
+                f"{metric}: {measured:.1f} is >"
+                f"{CATALOG_REGRESSION_TOLERANCE:.0%} below the recorded "
+                f"baseline floor {floor:.1f}"
+            )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true",
                         help="fast sanity run; no figure sweeps, no file "
                              "write unless --output is given")
+    parser.add_argument("--catalog", action="store_true",
+                        help="measure the catalog layer instead of the "
+                             "engine/sweeps; writes BENCH_catalog.json and "
+                             "exits non-zero on a gated regression")
     parser.add_argument("--output", type=Path, default=None,
                         help="where to write the JSON record "
-                             "(default: BENCH_netsim.json at the repo root; "
+                             "(default: BENCH_netsim.json / "
+                             "BENCH_catalog.json at the repo root; "
                              "'-' prints to stdout only)")
     args = parser.parse_args(argv)
-    report = build_report(smoke=args.smoke)
+    if args.catalog:
+        report = build_catalog_report(smoke=args.smoke)
+    else:
+        report = build_report(smoke=args.smoke)
     text = json.dumps(report, indent=2, sort_keys=True) + "\n"
     if args.output == Path("-"):
         print(text, end="")
-        return 0
-    if args.output is not None:
+    elif args.output is not None:
         args.output.write_text(text)
         print(f"wrote {args.output}")
     elif not args.smoke:
-        target = REPO_ROOT / "BENCH_netsim.json"
+        target = REPO_ROOT / (
+            "BENCH_catalog.json" if args.catalog else "BENCH_netsim.json"
+        )
         target.write_text(text)
         print(f"wrote {target}")
+    if args.catalog:
+        for row in report["current"]["rows"]:
+            print(f"  {row['n_files']} files: "
+                  f"search speedup {row['search_speedup']:.0f}x, "
+                  f"register {row['register_files_per_s']:.0f} files/s")
+        print(f"  envelope reduction: "
+              f"{report['current']['envelope_reduction']:.0f}x")
+        failures = check_catalog_regressions(report)
+        for failure in failures:
+            print(f"REGRESSION: {failure}")
+        return 1 if failures else 0
     for name, factor in sorted(report["speedup"].items()):
         print(f"  {name}: {factor:.2f}x")
     return 0
