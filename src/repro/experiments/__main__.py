@@ -1,9 +1,15 @@
 """CLI: ``python -m repro.experiments [name ...|all]`` regenerates the
 paper's figures/tables as text reports.
 
-``--trace-json=PATH`` additionally dumps the request-trace log (the span
-tree of every RPC, GridFTP command, transfer, and catalog update) from
-experiments that support it.
+Telemetry flags (honored by every experiment whose ``main`` supports the
+matching keyword; others simply ignore them):
+
+* ``--trace-json=PATH`` — dump the request-trace log (the span tree of
+  every RPC, GridFTP command, transfer, and catalog update) as JSON;
+* ``--metrics-json=PATH`` — dump the metrics registry snapshot as JSON;
+* ``--trace-chrome=PATH`` — dump the trace log as Chrome trace-event JSON
+  (load in Perfetto / chrome://tracing);
+* ``--report`` — print the terminal grid health report after the run.
 """
 
 from __future__ import annotations
@@ -13,16 +19,28 @@ import sys
 
 from repro.experiments import EXPERIMENTS
 
+#: flag prefix -> main() keyword carrying a path argument
+_PATH_FLAGS = {
+    "--trace-json=": "trace_path",
+    "--metrics-json=": "metrics_json",
+    "--trace-chrome=": "trace_chrome",
+}
+
 
 def main(argv: list[str]) -> int:
     """Entry point: run the named experiments (or all) and print reports."""
-    trace_path: str | None = None
+    forwarded: dict[str, object] = {}
     names: list[str] = []
     for arg in argv:
-        if arg.startswith("--trace-json="):
-            trace_path = arg.split("=", 1)[1]
+        for prefix, keyword in _PATH_FLAGS.items():
+            if arg.startswith(prefix):
+                forwarded[keyword] = arg.split("=", 1)[1]
+                break
         else:
-            names.append(arg)
+            if arg == "--report":
+                forwarded["show_report"] = True
+            else:
+                names.append(arg)
     names = names or ["all"]
     if names == ["all"]:
         names = list(EXPERIMENTS)
@@ -34,12 +52,8 @@ def main(argv: list[str]) -> int:
     for name in names:
         module = EXPERIMENTS[name]
         print(f"=== {name} ===")
-        kwargs = {}
-        if (
-            trace_path is not None
-            and "trace_path" in inspect.signature(module.main).parameters
-        ):
-            kwargs["trace_path"] = trace_path
+        supported = inspect.signature(module.main).parameters
+        kwargs = {k: v for k, v in forwarded.items() if k in supported}
         module.main(**kwargs)
     return 0
 

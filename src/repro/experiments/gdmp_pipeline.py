@@ -8,7 +8,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.experiments.common import print_table
+from repro.experiments.common import export_telemetry, print_table
 from repro.gdmp import DataGrid, GdmpConfig
 from repro.netsim.calibration import TUNED_BUFFER_BYTES
 from repro.netsim.units import MB
@@ -25,11 +25,16 @@ class PipelineRuns:
 
 
 def run(size_mb: int = 25, seed: int = 2001,
-        trace_path: str | None = None) -> PipelineRuns:
+        trace_path: str | None = None,
+        metrics_json: str | None = None,
+        trace_chrome: str | None = None,
+        show_report: bool = False) -> PipelineRuns:
     """Replicate with no failure, an injected disconnect, and an injected
     corruption.  With ``trace_path`` set, the grid's request-trace log
     (every RPC, GridFTP command, transfer, and catalog update span) is
-    dumped there as JSON."""
+    dumped there as JSON; ``metrics_json`` / ``trace_chrome`` /
+    ``show_report`` export the grid's telemetry (see
+    :func:`repro.experiments.common.export_telemetry`)."""
     grid = DataGrid(
         [
             GdmpConfig("cern", tcp_buffer=TUNED_BUFFER_BYTES, parallel_streams=3),
@@ -51,6 +56,13 @@ def run(size_mb: int = 25, seed: int = 2001,
     if trace_path is not None:
         grid.tracelog.dump_json(trace_path)
         print(f"wrote {len(grid.tracelog)} trace spans to {trace_path}")
+    export_telemetry(
+        grid.metrics,
+        grid.tracelog,
+        metrics_json=metrics_json,
+        trace_chrome=trace_chrome,
+        show_report=show_report,
+    )
     return PipelineRuns(
         size_mb=size_mb,
         clean=clean,
@@ -93,6 +105,10 @@ def report(result: PipelineRuns) -> None:
     print()
 
 
-def main(trace_path: str | None = None) -> None:
+def main(trace_path: str | None = None,
+         metrics_json: str | None = None,
+         trace_chrome: str | None = None,
+         show_report: bool = False) -> None:
     """Run and report with default parameters."""
-    report(run(trace_path=trace_path))
+    report(run(trace_path=trace_path, metrics_json=metrics_json,
+               trace_chrome=trace_chrome, show_report=show_report))

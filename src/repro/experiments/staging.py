@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.experiments.common import print_table
+from repro.experiments.common import export_telemetry, print_table
 from repro.gdmp import DataGrid, GdmpConfig
 from repro.netsim.units import MB
 
@@ -29,8 +29,12 @@ class StagingResult:
         return self.cold.stage_wait - self.warm.stage_wait
 
 
-def run(size_mb: int = 20, seed: int = 2001) -> StagingResult:
-    """Replicate a disk-warm and a tape-cold file; returns both reports."""
+def run(size_mb: int = 20, seed: int = 2001,
+        metrics_json: str | None = None,
+        trace_chrome: str | None = None,
+        show_report: bool = False) -> StagingResult:
+    """Replicate a disk-warm and a tape-cold file; returns both reports.
+    The telemetry keywords export the grid's metrics/trace afterwards."""
     grid = DataGrid(
         [GdmpConfig("cern", has_mss=True), GdmpConfig("anl")], seed=seed
     )
@@ -43,6 +47,13 @@ def run(size_mb: int = 20, seed: int = 2001) -> StagingResult:
 
     warm = grid.run(until=anl.client.replicate("warm.db"))
     cold = grid.run(until=anl.client.replicate("cold.db"))
+    export_telemetry(
+        grid.metrics,
+        grid.tracelog,
+        metrics_json=metrics_json,
+        trace_chrome=trace_chrome,
+        show_report=show_report,
+    )
     return StagingResult(size_mb=size_mb, warm=warm, cold=cold)
 
 
@@ -71,6 +82,9 @@ def report(result: StagingResult) -> None:
     print()
 
 
-def main() -> None:
+def main(metrics_json: str | None = None,
+         trace_chrome: str | None = None,
+         show_report: bool = False) -> None:
     """Run and report with default parameters."""
-    report(run())
+    report(run(metrics_json=metrics_json, trace_chrome=trace_chrome,
+               show_report=show_report))

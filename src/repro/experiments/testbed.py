@@ -38,9 +38,16 @@ class GridFTPTestbed:
     client_fs: FileSystem
 
 
-def gridftp_testbed(params: TestbedParams | None = None) -> GridFTPTestbed:
-    """Build the simulated CERN-ANL GridFTP test environment of §6."""
-    sim, topology, engine = cern_anl_testbed(params)
+def gridftp_testbed(
+    params: TestbedParams | None = None, metrics=None
+) -> GridFTPTestbed:
+    """Build the simulated CERN-ANL GridFTP test environment of §6.
+
+    ``metrics`` optionally attaches a
+    :class:`~repro.telemetry.metrics.MetricsRegistry` to the engine and
+    server; the Fig. 5/6 benches leave it off, so their recorded outputs
+    are untouched."""
+    sim, topology, engine = cern_anl_testbed(params, metrics=metrics)
     msgnet = MessageNetwork(sim, topology)
     ca = CertificateAuthority()
     gridmap = GridMap()
@@ -52,7 +59,7 @@ def gridftp_testbed(params: TestbedParams | None = None) -> GridFTPTestbed:
     client_fs = FileSystem("anl", capacity=100 * GB)
     server = GridFTPServer(
         sim, msgnet, engine, topology.host("cern"), server_fs,
-        server_cred, [ca], gridmap,
+        server_cred, [ca], gridmap, metrics=metrics,
     )
     client = GridFTPClient(
         sim, msgnet, topology.host("anl"),

@@ -56,6 +56,8 @@ class DataMover:
         filesystem: FileSystem,
         max_restart_attempts: int = 3,
         max_crc_retries: int = 2,
+        metrics=None,
+        site: str = "",
     ):
         self.sim = sim
         self.ftp = ftp_client
@@ -63,6 +65,9 @@ class DataMover:
         self.max_restart_attempts = max_restart_attempts
         self.max_crc_retries = max_crc_retries
         self.monitor = Monitor()
+        #: optional MetricsRegistry + site label for recovery counters
+        self.metrics = metrics
+        self.site = site
 
     def fetch(
         self,
@@ -110,6 +115,10 @@ class DataMover:
                             if marker is None:
                                 raise DataMoverError(str(exc)) from exc
                             self.monitor.count("restarts")
+                            if self.metrics is not None:
+                                self.metrics.counter(
+                                    "gdmp.mover.restarts", site=self.site
+                                ).inc()
                             if attempts > self.max_restart_attempts:
                                 raise DataMoverError(
                                     f"gave up on {remote_path!r} after "
@@ -120,6 +129,13 @@ class DataMover:
                     if stored.crc == crc:
                         self.monitor.count("bytes_moved", stored.size)
                         self.monitor.count("files_moved")
+                        if self.metrics is not None:
+                            self.metrics.counter(
+                                "gdmp.mover.files_moved", site=self.site
+                            ).inc()
+                            self.metrics.counter(
+                                "gdmp.mover.bytes_moved", site=self.site
+                            ).inc(stored.size)
                         return MoveReport(
                             stored=stored,
                             bytes_expected=stored.size,
@@ -132,6 +148,10 @@ class DataMover:
                     # corruption slipped past TCP's 16-bit checksums: purge
                     # the bad copy and transfer again from scratch
                     self.monitor.count("crc_failures")
+                    if self.metrics is not None:
+                        self.metrics.counter(
+                            "gdmp.mover.crc_failures", site=self.site
+                        ).inc()
                     crc_retries += 1
                     self.fs.delete(local_path)
                     if crc_retries > self.max_crc_retries:

@@ -35,10 +35,12 @@ from repro.security.credentials import new_user_credential
 from repro.security.gridmap import GridMap
 from repro.services.tracelog import TraceLog
 from repro.simulation.kernel import Simulator
+from repro.simulation.monitor import Monitor
 from repro.storage.diskpool import DiskPool
 from repro.storage.filesystem import FileSystem
 from repro.storage.hrm import HierarchicalResourceManager
 from repro.storage.mss import MassStorageSystem
+from repro.telemetry.metrics import MetricsRegistry
 
 __all__ = ["GdmpSite", "DataGrid"]
 
@@ -81,6 +83,7 @@ class DataGrid:
         catalog_host: Optional[str] = None,
         params: Optional[TestbedParams] = None,
         seed: int = 2001,
+        metrics: bool = True,
     ):
         if site_configs is None:
             site_configs = [GdmpConfig("cern"), GdmpConfig("anl")]
@@ -96,6 +99,14 @@ class DataGrid:
 
         self.sim = Simulator()
         self.tracelog = TraceLog(self.sim)
+        #: the grid-wide labelled-metrics registry (or None when disabled).
+        #: Instrumentation throughout the stack is purely observational —
+        #: it draws no random numbers and schedules no events — so the
+        #: simulated outcome is bit-identical with or without it.
+        self.metrics = MetricsRegistry(self.sim) if metrics else None
+        #: grid-level monitor; the registry rides along in its snapshot so
+        #: the determinism gate fingerprints the metrics too
+        self.monitor = Monitor(registry=self.metrics)
         self.topology = Topology()
         self.engine_seed = seed
         self.ca = CertificateAuthority()
@@ -119,7 +130,9 @@ class DataGrid:
                         loss_rate=self.params.loss_rate,
                     ),
                 )
-        self.engine = NetworkEngine(self.sim, self.topology, seed=seed)
+        self.engine = NetworkEngine(
+            self.sim, self.topology, seed=seed, metrics=self.metrics
+        )
         self.msgnet = MessageNetwork(self.sim, self.topology)
 
         for config in site_configs:
@@ -127,10 +140,14 @@ class DataGrid:
         # the central catalog lives at catalog_host's request server
         self.catalog_backend = GdmpCatalog()
         self.catalog_service = ReplicaCatalogService(
-            self.sites[self.catalog_host].request_server, self.catalog_backend
+            self.sites[self.catalog_host].request_server,
+            self.catalog_backend,
+            metrics=self.metrics,
         )
         for site in self.sites.values():
             self._finish_site(site)
+        if self.metrics is not None:
+            self.metrics.add_collector(self._collect_passive_state)
 
     # -- construction ------------------------------------------------------------
     def _build_site(self, config: GdmpConfig) -> None:
@@ -155,6 +172,7 @@ class DataGrid:
                 drives=config.tape_drives,
                 mount_seek_time=config.tape_mount_seek,
                 tape_rate=config.tape_rate,
+                metrics=self.metrics,
             )
         hrm = HierarchicalResourceManager(self.sim, pool, mss)
         federation = Federation(f"fed-{name}", site=name)
@@ -168,6 +186,7 @@ class DataGrid:
             [self.ca],
             self.gridmap,
             tracelog=self.tracelog,
+            metrics=self.metrics,
         )
         gridftp_client = GridFTPClient(
             self.sim, self.msgnet, host, credential, filesystem=fs,
@@ -175,7 +194,7 @@ class DataGrid:
         )
         request_server = RequestServer(
             self.sim, self.msgnet, host, credential, [self.ca], self.gridmap,
-            tracelog=self.tracelog,
+            tracelog=self.tracelog, metrics=self.metrics,
         )
         request_client = RequestClient(
             self.sim, self.msgnet, host, credential, tracelog=self.tracelog
@@ -186,6 +205,8 @@ class DataGrid:
             gridftp_client,
             fs,
             max_restart_attempts=config.max_transfer_retries,
+            metrics=self.metrics,
+            site=name,
         )
         server = GdmpServer(self.sim, name, request_server, storage)
         self.sites[name] = GdmpSite(
@@ -223,6 +244,44 @@ class DataGrid:
             plugins=PluginRegistry(),
             site_runtime=site,
             tracelog=self.tracelog,
+        )
+
+    # -- telemetry ---------------------------------------------------------------
+    def _collect_passive_state(self, registry: MetricsRegistry) -> None:
+        """Scrape passive state into gauges at snapshot/export time.
+
+        The collector pattern keeps the scraped subsystems' hot paths
+        uninstrumented: pool occupancy, cache hit counts, and the LDAP
+        search-machinery counters are plain attributes read on demand.
+        """
+        for name, site in self.sites.items():
+            fs = site.fs
+            registry.gauge("storage.pool.used_bytes", site=name).set(fs.used)
+            registry.gauge(
+                "storage.pool.occupancy", site=name
+            ).set(fs.used / fs.capacity if fs.capacity else 0.0)
+            pool = site.pool
+            registry.gauge("storage.pool.hits", site=name).set(pool.hits)
+            registry.gauge("storage.pool.misses", site=name).set(pool.misses)
+            registry.gauge(
+                "storage.pool.evictions", site=name
+            ).set(pool.evictions)
+            if site.client is not None:
+                stats = site.client.catalog.stats
+                for key, value in sorted(stats.items()):
+                    registry.gauge(
+                        f"catalog.proxy.{key}", site=name
+                    ).set(value)
+        directory = self.catalog_backend.catalog.directory
+        for key, value in sorted(directory.stats.items()):
+            registry.gauge("catalog.ldap." + key).set(value)
+
+    def health_report(self, top_n: int = 10) -> str:
+        """The rendered grid health report (metrics + trace summary)."""
+        from repro.telemetry.report import render_health_report
+
+        return render_health_report(
+            self.metrics, self.tracelog, top_n=top_n
         )
 
     # -- access --------------------------------------------------------------------

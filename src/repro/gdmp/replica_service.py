@@ -50,13 +50,21 @@ SERVICE_NAME = "replica-catalog"
 #: request messages.
 BULK_ITEM_SIZE = 96
 
+#: Histogram bounds for bulk-envelope batch sizes (items per envelope).
+_BATCH_BOUNDS = (
+    1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0,
+)
+
 
 class ReplicaCatalogService:
     """Hosts the central :class:`GdmpCatalog` behind the request manager."""
 
-    def __init__(self, server: RequestServer, catalog: Optional[GdmpCatalog] = None):
+    def __init__(self, server: RequestServer, catalog: Optional[GdmpCatalog] = None,
+                 metrics=None):
         self.catalog = catalog or GdmpCatalog()
         self.server = server
+        #: optional MetricsRegistry: bulk batch-size histograms per op
+        self.metrics = metrics
         #: called with (operation, payload) after each successful write —
         #: the hook :mod:`repro.gdmp.catalog_replication` propagates from.
         self.write_listeners: list = []
@@ -80,6 +88,12 @@ class ReplicaCatalogService:
 
     # Handlers are generators (the request manager spawns them); catalog
     # operations themselves are in-memory and immediate.
+    def _observe_batch(self, op: str, n_items: int) -> None:
+        if self.metrics is not None:
+            self.metrics.histogram(
+                "catalog.bulk.batch_size", bounds=_BATCH_BOUNDS, op=op
+            ).observe(n_items)
+
     def _notify_write(self, operation: str, payload) -> None:
         for listener in self.write_listeners:
             listener(operation, payload)
@@ -103,6 +117,7 @@ class ReplicaCatalogService:
 
     def _op_publish_bulk(self, request: AuthenticatedRequest):
         p = request.payload
+        self._observe_batch("publish", len(p["files"]))
         try:
             lfns = self.catalog.publish_bulk(p["site"], p["files"])
         except CatalogError as exc:
@@ -128,6 +143,7 @@ class ReplicaCatalogService:
         yield  # pragma: no cover
 
     def _op_add_replica_bulk(self, request: AuthenticatedRequest):
+        self._observe_batch("add_replica", len(request.payload["lfns"]))
         try:
             self.catalog.add_replicas(
                 list(request.payload["lfns"]), request.payload["site"]
@@ -150,6 +166,7 @@ class ReplicaCatalogService:
         yield  # pragma: no cover
 
     def _op_remove_replica_bulk(self, request: AuthenticatedRequest):
+        self._observe_batch("remove_replica", len(request.payload["lfns"]))
         try:
             self.catalog.remove_replicas(
                 list(request.payload["lfns"]), request.payload["site"]
@@ -165,6 +182,7 @@ class ReplicaCatalogService:
         yield  # pragma: no cover
 
     def _op_locations_bulk(self, request: AuthenticatedRequest):
+        self._observe_batch("locations", len(request.payload["lfns"]))
         return self.catalog.locations_bulk(list(request.payload["lfns"]))
         yield  # pragma: no cover
 
@@ -176,6 +194,7 @@ class ReplicaCatalogService:
         yield  # pragma: no cover
 
     def _op_info_bulk(self, request: AuthenticatedRequest):
+        self._observe_batch("info", len(request.payload["lfns"]))
         try:
             return self.catalog.info_bulk(list(request.payload["lfns"]))
         except CatalogError as exc:

@@ -36,6 +36,7 @@ from repro.services.middleware import (
     DeadlineMiddleware,
     GsiAuthenticator,
     GsiAuthMiddleware,
+    MetricsMiddleware,
     ServerMonitorMiddleware,
 )
 from repro.services.tracelog import TraceLog
@@ -106,22 +107,26 @@ class RequestServer(ServiceEndpoint):
         gridmap: GridMap,
         service: str = SERVICE,
         tracelog: Optional[TraceLog] = None,
+        metrics=None,
     ):
         monitor = Monitor()
         self.credential = credential
         self.trusted_cas = trusted_cas
         self.gridmap = gridmap
         self.authenticator = GsiAuthenticator(trusted_cas, gridmap)
+        middlewares = [
+            ServerMonitorMiddleware(monitor),
+            GsiAuthMiddleware(self.authenticator, monitor),
+            DeadlineMiddleware(monitor, metrics=metrics, service=service),
+        ]
+        if metrics is not None:
+            middlewares.insert(0, MetricsMiddleware(metrics, service=service))
         super().__init__(
             sim,
             msgnet,
             host,
             service,
-            middlewares=(
-                ServerMonitorMiddleware(monitor),
-                GsiAuthMiddleware(self.authenticator, monitor),
-                DeadlineMiddleware(monitor),
-            ),
+            middlewares=tuple(middlewares),
             tracelog=tracelog,
             monitor=monitor,
             message_size=REQUEST_MESSAGE_SIZE,

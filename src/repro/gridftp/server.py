@@ -32,7 +32,11 @@ from repro.security.ca import CertificateAuthority, CertificateError
 from repro.security.credentials import Credential
 from repro.security.gridmap import AuthorizationError, GridMap
 from repro.services.bus import ServiceEndpoint, ServiceFault, ServiceRequest
-from repro.services.middleware import GsiAuthenticator, ServerMonitorMiddleware
+from repro.services.middleware import (
+    GsiAuthenticator,
+    MetricsMiddleware,
+    ServerMonitorMiddleware,
+)
 from repro.services.tracelog import TraceLog
 from repro.simulation.kernel import Simulator
 from repro.simulation.monitor import Monitor
@@ -42,6 +46,9 @@ __all__ = ["GridFTPServer", "FailureInjector", "TransferDescriptor"]
 
 #: How often the server emits performance markers during a transfer.
 PERF_MARKER_INTERVAL = 5.0
+
+#: Histogram bounds for parallel-stream fan-out (streams x stripes).
+_FANOUT_BOUNDS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
 
 #: The FTP verbs this daemon implements, each a bus operation.
 VERBS = (
@@ -123,6 +130,7 @@ class GridFTPServer:
         max_parallelism: int = 16,
         data_nodes: tuple[str, ...] = (),
         tracelog: Optional[TraceLog] = None,
+        metrics=None,
     ):
         self.sim = sim
         self.msgnet = msgnet
@@ -141,18 +149,26 @@ class GridFTPServer:
         self.failures = FailureInjector()
         self.monitor = Monitor()
         self.tracelog = tracelog
+        #: optional MetricsRegistry; per-stream throughput, marker counts,
+        #: and fan-out are recorded per transfer (never per tick)
+        self.metrics = metrics
         self.authenticator = GsiAuthenticator(trusted_cas, gridmap)
         self._sessions: dict[str, _Session] = {}
         self._session_counter = 0
+        middlewares = [
+            ServerMonitorMiddleware(self.monitor, prefix="cmd_"),
+            self._session_gate,
+        ]
+        if metrics is not None:
+            middlewares.insert(
+                0, MetricsMiddleware(metrics, service=self.SERVICE)
+            )
         self.bus = ServiceEndpoint(
             sim,
             msgnet,
             host,
             self.SERVICE,
-            middlewares=(
-                ServerMonitorMiddleware(self.monitor, prefix="cmd_"),
-                self._session_gate,
-            ),
+            middlewares=tuple(middlewares),
             tracelog=tracelog,
             monitor=self.monitor,
             message_size=CONTROL_MESSAGE_SIZE,
@@ -358,16 +374,28 @@ class GridFTPServer:
         # parallelism; the single-host case degenerates to a plain transfer
         stripe_hosts = (self.host.name, *self.data_nodes)
         pool = self.engine.new_pool(remaining)
+        flows = []
         for stripe_index, stripe_host in enumerate(stripe_hosts):
             for i in range(session.parallelism):
-                self.engine.open_flow(
+                flows.append(self.engine.open_flow(
                     stripe_host,
                     dest,
                     pool=pool,
                     tcp=TcpParams(buffer=session.buffer),
                     rate_cap=rate_cap,
                     name=f"retr:{path}[{stripe_index}.{i}]",
-                )
+                ))
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.histogram(
+                "gridftp.transfer.fanout",
+                bounds=_FANOUT_BOUNDS,
+                host=self.host.name,
+            ).observe(len(flows))
+            if already > 0:
+                metrics.counter(
+                    "gridftp.transfer.restarts", host=self.host.name
+                ).inc()
         abort_at = self.failures.take_abort(path)
         if abort_at is not None:
             self.sim.spawn(
@@ -379,6 +407,10 @@ class GridFTPServer:
             yield pool.done
         except TransferAborted as exc:
             self.monitor.count("aborted_transfers")
+            if metrics is not None:
+                metrics.counter(
+                    "gridftp.transfers_aborted", host=self.host.name
+                ).inc()
             if span is not None:
                 self.tracelog.finish(span, "error", detail="aborted")
             marker = RestartMarker(RangeSet([(0.0, already + exc.delivered)]))
@@ -392,6 +424,23 @@ class GridFTPServer:
             self.tracelog.finish(span, "ok")
         self.monitor.count("bytes_sent", remaining)
         self.monitor.count("files_sent")
+        if metrics is not None:
+            metrics.counter("gridftp.bytes_sent", host=self.host.name).inc(
+                remaining
+            )
+            metrics.counter("gridftp.files_sent", host=self.host.name).inc()
+            elapsed = pool.completed_at - pool.started_at
+            for i, flow in enumerate(flows):
+                metrics.counter(
+                    "gridftp.stream.bytes", host=self.host.name, stream=i
+                ).inc(flow.delivered)
+                if elapsed > 0:
+                    metrics.observe(
+                        "gridftp.stream.throughput",
+                        flow.delivered / elapsed,
+                        host=self.host.name,
+                        stream=i,
+                    )
         return protocol.closing(
             payload={
                 "descriptor": descriptor,
@@ -410,6 +459,9 @@ class GridFTPServer:
     def _stream_markers(self, request: ServiceRequest, pool, base_offset):
         """Spawn the per-transfer marker emitter (111/112 preliminary replies)."""
 
+        metrics = self.metrics
+        host = self.host.name
+
         def emitter(sim=self.sim):
             while not pool.done.triggered:
                 yield sim.timeout(PERF_MARKER_INTERVAL)
@@ -423,6 +475,13 @@ class GridFTPServer:
                 )
                 request.preliminary(Reply(112, "Perf Marker", payload=perf))
                 request.preliminary(Reply(111, "Range Marker", payload=restart))
+                if metrics is not None:
+                    metrics.counter(
+                        "gridftp.markers_emitted", host=host, type="perf"
+                    ).inc()
+                    metrics.counter(
+                        "gridftp.markers_emitted", host=host, type="range"
+                    ).inc()
 
         self.sim.spawn(emitter(), name="marker-emitter")
 
@@ -485,6 +544,10 @@ class GridFTPServer:
         try:
             yield pool.done
         except TransferAborted as exc:
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "gridftp.transfers_aborted", host=self.host.name
+                ).inc()
             if span is not None:
                 self.tracelog.finish(span, "error", detail="aborted")
             raise ServiceFault(
@@ -493,6 +556,13 @@ class GridFTPServer:
             ) from exc
         if span is not None:
             self.tracelog.finish(span, "ok")
+        if self.metrics is not None:
+            self.metrics.counter(
+                "gridftp.bytes_received", host=self.host.name
+            ).inc(descriptor.size)
+            self.metrics.counter(
+                "gridftp.files_received", host=self.host.name
+            ).inc()
         self.fs.create(
             path,
             descriptor.size,

@@ -65,6 +65,7 @@ class TestbedParams:
 
 def cern_anl_testbed(
     params: TestbedParams | None = None,
+    metrics=None,
 ) -> tuple[Simulator, Topology, NetworkEngine]:
     """Build the simulated testbed of §6: CERN and ANL joined by one WAN link.
 
@@ -103,5 +104,5 @@ def cern_anl_testbed(
                 loss_rate=params.loss_rate,
             ),
         )
-    engine = NetworkEngine(sim, topo, seed=params.seed)
+    engine = NetworkEngine(sim, topo, seed=params.seed, metrics=metrics)
     return sim, topo, engine

@@ -65,6 +65,12 @@ from repro.simulation.randomness import RandomStreams
 
 __all__ = ["SharedBytePool", "Flow", "NetworkEngine", "TransferAborted"]
 
+#: Histogram bounds for transfer goodput in bytes/s: decades (with a 3x
+#: midpoint) from 100 KB/s to 10 GB/s, the plausible range for grid links.
+_THROUGHPUT_BOUNDS = (
+    1e5, 3e5, 1e6, 3e6, 1e7, 3e7, 1e8, 3e8, 1e9, 3e9, 1e10,
+)
+
 
 class TransferAborted(Exception):
     """A transfer was cancelled mid-flight.
@@ -246,12 +252,27 @@ class NetworkEngine:
         seed: int = 0,
         adaptive_ticks: bool = True,
         link_monitor_interval: Optional[float] = None,
+        metrics=None,
     ):
         self.sim = sim
         self.topology = topology
         self.random = RandomStreams(seed)
         self.adaptive_ticks = adaptive_ticks
         self.link_monitor_interval = link_monitor_interval
+        #: optional :class:`~repro.telemetry.metrics.MetricsRegistry`.
+        #: Instrumentation is event-driven (flow open/retire, drops, the
+        #: opt-in link sampling grid) — never per-tick — and purely
+        #: observational, so attaching a registry changes no simulation
+        #: output and stays out of the hot loop.
+        self.metrics = metrics
+        if metrics is not None:
+            for link in topology.links:
+                metrics.gauge(
+                    "netsim.link.capacity", link=link.name
+                ).set(link.capacity)
+                metrics.gauge(
+                    "netsim.link.cross_traffic", link=link.name
+                ).set(link.cross_traffic)
         self._flows: list[Flow] = []
         self._running = False
         self._process = None
@@ -333,6 +354,11 @@ class NetworkEngine:
         self._flows.append(flow)
         self._cache_dirty = True
         self.monitor.count("flows_opened")
+        if self.metrics is not None:
+            self.metrics.counter(
+                "netsim.flows_opened",
+                src=src_host.name, dst=dst_host.name,
+            ).inc()
         if not self._running:
             self._running = True
             self._process = self.sim.spawn(self._run(), name="network-engine")
@@ -377,12 +403,38 @@ class NetworkEngine:
                 raise ValueError("transfer already completed")
             raise ValueError("transfer already aborted")
         self._abort_stretch()
+        cancelled = [f for f in self._flows if f.pool is pool]
         self._flows = [f for f in self._flows if f.pool is not pool]
         self._cache_dirty = True
         pool.completed_at = self.sim.now
         self.monitor.count("transfers_aborted")
         self.monitor.count("bytes_delivered_aborted", pool._delivered)
+        if self.metrics is not None:
+            self.metrics.counter("netsim.transfers_aborted").inc()
+            for f in cancelled:
+                self._record_flow_retired(f)
         pool.done.fail(TransferAborted(pool._delivered, reason))
+
+    def _record_flow_retired(self, f: Flow) -> None:
+        """Export one retired flow's lifetime stats into the registry.
+
+        Called once per flow at retirement (pool drained or cancelled), so
+        the cost is O(flows), never O(ticks)."""
+        metrics = self.metrics
+        labels = {"src": f.src.name, "dst": f.dst.name}
+        metrics.counter("netsim.flow.bytes", **labels).inc(f.delivered)
+        metrics.counter("netsim.flows_retired", **labels).inc()
+        tcp = f.tcp
+        if tcp.losses:
+            metrics.counter(
+                "netsim.tcp.retransmits", **labels
+            ).inc(tcp.losses)
+        if tcp.timeouts:
+            metrics.counter(
+                "netsim.tcp.timeouts", **labels
+            ).inc(tcp.timeouts)
+        metrics.observe("netsim.tcp.cwnd", tcp.cwnd, **labels)
+        metrics.observe("netsim.tcp.ssthresh", tcp.ssthresh, **labels)
 
     # -- incidence caches --------------------------------------------------
     def _rebuild_cache(self) -> None:
@@ -573,6 +625,7 @@ class NetworkEngine:
             self.link_monitor_interval is not None
             and sim_now >= self._next_link_sample
         )
+        metrics = self.metrics
         congested = False
         dropped_any = False
         link_scale = [1.0] * nlinks
@@ -587,12 +640,28 @@ class NetworkEngine:
                 if dropped > 0.0:
                     dropped_any = True
                     link_dropped[slot] = dropped
+                    if metrics is not None:
+                        metrics.counter(
+                            "netsim.link.dropped_bytes", link=link.name
+                        ).inc(dropped)
+                        metrics.counter(
+                            "netsim.link.overflow_events", link=link.name
+                        ).inc()
             elif link.queue:
                 # draining: advance_queue shrinks the queue, cannot drop
                 link.advance_queue(demand, dt)
             # else: advance_queue would be a no-op (queue stays 0, no drop)
             if sample_links:
                 link.monitor.timeseries("queue").sample(sim_now, link.queue)
+                if metrics is not None:
+                    metrics.observe(
+                        "netsim.link.queue", link.queue, link=link.name
+                    )
+                    metrics.observe(
+                        "netsim.link.utilization",
+                        min(demand / link.capacity, 1.0),
+                        link=link.name,
+                    )
         if sample_links:
             self._next_link_sample = sim_now + self.link_monitor_interval
 
@@ -693,9 +762,22 @@ class NetworkEngine:
             done_ids = {id(p) for p in finished_pools}
             self._flows = [f for f in flows if id(f.pool) not in done_ids]
             self._cache_dirty = True
+            if metrics is not None:
+                for f in flows:
+                    if id(f.pool) in done_ids:
+                        self._record_flow_retired(f)
             for pool in finished_pools:
                 self.monitor.count("transfers_completed")
                 self.monitor.count("bytes_delivered", pool.size)
+                if metrics is not None:
+                    metrics.counter("netsim.transfers_completed").inc()
+                    metrics.counter("netsim.bytes_delivered").inc(pool.size)
+                    elapsed = pool.completed_at - pool.started_at
+                    if elapsed > 0:
+                        metrics.histogram(
+                            "netsim.transfer.throughput",
+                            bounds=_THROUGHPUT_BOUNDS,
+                        ).observe(pool.size / elapsed)
                 pool.done.succeed(pool)
         self._tick_quiet = queues_empty and not congested
         return dt

@@ -14,7 +14,9 @@ each implemented privately:
   by a security service");
 * :class:`DeadlineMiddleware` — shed requests whose propagated deadline
   already passed before dispatch (the caller has given up; doing the work
-  would only waste simulated server time).
+  would only waste simulated server time);
+* :class:`MetricsMiddleware` — per-operation RPC latency histograms and
+  outcome counters in a :class:`~repro.telemetry.metrics.MetricsRegistry`.
 """
 
 from __future__ import annotations
@@ -24,7 +26,7 @@ from typing import Optional
 
 from repro.security.ca import CertificateAuthority, CertificateError, verify_chain
 from repro.security.gridmap import AuthorizationError, GridMap
-from repro.services.bus import ServiceError, ServiceRequest
+from repro.services.bus import ServiceError, ServiceFault, ServiceRequest
 from repro.simulation.monitor import Monitor
 
 __all__ = [
@@ -33,6 +35,7 @@ __all__ = [
     "GsiAuthMiddleware",
     "ServerMonitorMiddleware",
     "DeadlineMiddleware",
+    "MetricsMiddleware",
 ]
 
 
@@ -108,8 +111,11 @@ class ServerMonitorMiddleware:
 class DeadlineMiddleware:
     """Shed requests whose propagated deadline expired before dispatch."""
 
-    def __init__(self, monitor: Optional[Monitor] = None):
+    def __init__(self, monitor: Optional[Monitor] = None, metrics=None,
+                 service: str = ""):
         self.monitor = monitor
+        self.metrics = metrics
+        self.service = service
 
     def __call__(self, request: ServiceRequest, call_next):
         context = request.context
@@ -120,8 +126,57 @@ class DeadlineMiddleware:
         ):
             if self.monitor is not None:
                 self.monitor.count("deadline_expired")
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "rpc.deadline_sheds",
+                    service=self.service,
+                    operation=request.operation,
+                ).inc()
             raise ServiceError(
                 f"deadline exceeded before dispatch of {request.operation!r}"
             )
         result = yield from call_next(request)
+        return result
+
+
+class MetricsMiddleware:
+    """Record per-operation RPC latency and outcomes into a registry.
+
+    Placed outermost in a chain it times the whole server-side handling
+    (middlewares + handler, in simulated time) of every request and counts
+    outcomes: ``ok``, ``error`` (:class:`ServiceError`, including deadline
+    sheds), ``fault`` (protocol-level :class:`ServiceFault`).  Series:
+
+    * ``rpc.latency{service,operation}`` — histogram, seconds;
+    * ``rpc.requests{service,operation,outcome}`` — counter.
+    """
+
+    def __init__(self, registry, service: str):
+        self.registry = registry
+        self.service = service
+
+    def __call__(self, request: ServiceRequest, call_next):
+        start = request.sim.now
+        outcome = "ok"
+        try:
+            result = yield from call_next(request)
+        except ServiceFault:
+            outcome = "fault"
+            raise
+        except ServiceError:
+            outcome = "error"
+            raise
+        finally:
+            registry = self.registry
+            registry.counter(
+                "rpc.requests",
+                service=self.service,
+                operation=request.operation,
+                outcome=outcome,
+            ).inc()
+            registry.histogram(
+                "rpc.latency",
+                service=self.service,
+                operation=request.operation,
+            ).observe(request.sim.now - start)
         return result

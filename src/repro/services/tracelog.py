@@ -56,7 +56,12 @@ class Span:
         return None if self.end is None else self.end - self.start
 
     def to_record(self) -> dict:
-        """JSON-serializable form of this span."""
+        """JSON-serializable form of this span.
+
+        JSON-native attr values (str/int/float/bool/None) pass through
+        unchanged — ``attrs={"streams": 3}`` exports the integer 3, not
+        the string ``"3"``; only other types fall back to ``str()``.
+        """
         return {
             "trace_id": self.trace_id,
             "span_id": self.span_id,
@@ -67,9 +72,14 @@ class Span:
             "service": self.service,
             "start": self.start,
             "end": self.end,
+            "duration": self.duration,
             "status": self.status,
             "detail": self.detail,
-            "attrs": {k: str(v) for k, v in self.attrs.items()},
+            "attrs": {
+                k: (v if isinstance(v, (str, int, float, bool)) or v is None
+                    else str(v))
+                for k, v in self.attrs.items()
+            },
         }
 
 
@@ -167,6 +177,16 @@ class TraceLog:
     def children(self, span: Span) -> list[Span]:
         """Direct children of a span."""
         return [s for s in self._spans if s.parent_id == span.span_id]
+
+    def open_spans(self) -> list[Span]:
+        """Spans begun but never finished (still ``in_progress``).
+
+        A non-empty result at simulation end means the run stopped inside
+        traced work (a hung call, an abandoned handler, a stopped clock):
+        experiments warn about these and the health report lists them
+        rather than silently exporting ``end: null``.
+        """
+        return [s for s in self._spans if s.end is None]
 
     def __len__(self) -> int:
         return len(self._spans)

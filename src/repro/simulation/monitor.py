@@ -61,10 +61,27 @@ class TimeSeries:
         return self.values[-1]
 
     def time_average(self, until: float | None = None) -> float:
-        """Mean of the step function defined by the samples."""
+        """Mean of the step function defined by the samples.
+
+        The samples define a right-continuous step function: ``values[i]``
+        holds from ``times[i]`` until the next sample (and the last value
+        holds forever).  The average weights each value by how long it was
+        in effect over the window ``[times[0], end]``, where ``end`` is
+        ``until`` (which may extend past the last sample — the final value
+        fills the tail) or the last sample time when omitted.
+
+        ``until`` earlier than the first sample raises :class:`ValueError`
+        — there is no signal before the first sample, so no window to
+        average over.  ``until == times[0]`` is the degenerate zero-width
+        window and returns the first value.
+        """
         if not self.times:
             raise ValueError("no samples")
         end = self.times[-1] if until is None else until
+        if end < self.times[0]:
+            raise ValueError(
+                f"until={end} precedes the first sample at {self.times[0]}"
+            )
         if len(self.times) == 1 or end <= self.times[0]:
             return self.values[0]
         total = 0.0
@@ -83,12 +100,20 @@ class TimeSeries:
 
 
 class Monitor:
-    """A named bundle of counters, traces, and time series."""
+    """A named bundle of counters, traces, and time series.
 
-    def __init__(self) -> None:
+    A :class:`~repro.telemetry.metrics.MetricsRegistry` (or anything with
+    a ``snapshot()`` method) may be attached as ``registry``; its snapshot
+    is then merged into :meth:`snapshot` under the ``"metrics"`` key, so
+    one fingerprint covers both the legacy counters and the labelled
+    telemetry registry.
+    """
+
+    def __init__(self, registry=None) -> None:
         self.counters: dict[str, float] = {}
         self.traces: dict[str, Trace] = {}
         self.series: dict[str, TimeSeries] = {}
+        self.registry = registry
 
     def count(self, name: str, amount: float = 1.0) -> None:
         """Increment a named counter."""
@@ -122,7 +147,7 @@ class Monitor:
         recorded: sorted counters, per-trace event tuples, and per-series
         sample points.  Two identical simulations produce equal
         snapshots — the determinism gate diffs these."""
-        return {
+        out = {
             "counters": {k: self.counters[k] for k in sorted(self.counters)},
             "traces": {
                 name: [
@@ -138,3 +163,6 @@ class Monitor:
                 for name in sorted(self.series)
             },
         }
+        if self.registry is not None:
+            out["metrics"] = self.registry.snapshot()
+        return out

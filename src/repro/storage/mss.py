@@ -42,6 +42,7 @@ class MassStorageSystem:
         drives: int = 2,
         mount_seek_time: float = 45.0,
         tape_rate: float = 15e6,
+        metrics=None,
     ):
         if mount_seek_time < 0 or tape_rate <= 0:
             raise ValueError("invalid tape timing parameters")
@@ -52,6 +53,8 @@ class MassStorageSystem:
         self._drives = Resource(sim, capacity=drives)
         self._archive: dict[str, _ArchivedFile] = {}
         self.monitor = Monitor()
+        #: optional MetricsRegistry: per-site staging latency histograms
+        self.metrics = metrics
 
     # -- archive contents ----------------------------------------------------
     def contains(self, path: str) -> bool:
@@ -118,6 +121,15 @@ class MassStorageSystem:
                     )
                 self.monitor.count("staged_files")
                 self.monitor.count("staged_bytes", record.size)
+                if self.metrics is not None:
+                    # end-to-end staging latency: queue wait + mount/seek
+                    # + streaming time, observed once per staged file
+                    self.metrics.histogram(
+                        "storage.mss.stage_latency", site=self.site
+                    ).observe(sim.now - queued_at)
+                    self.metrics.counter(
+                        "storage.mss.staged_bytes", site=self.site
+                    ).inc(record.size)
             except StorageError as exc:
                 self._drives.release(request)
                 done.fail(exc)

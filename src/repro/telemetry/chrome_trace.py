@@ -1,0 +1,166 @@
+"""Chrome trace-event export of a :class:`TraceLog` (Perfetto-loadable).
+
+Renders the grid's request spans in the Trace Event Format understood by
+``chrome://tracing`` and https://ui.perfetto.dev:
+
+* one *process* row per host (spans with no host land on a synthetic
+  ``grid`` row), named with ``process_name`` metadata events;
+* one *thread* row per service within a host, named with ``thread_name``
+  metadata events;
+* every finished span becomes a complete (``"X"``) event — sim seconds
+  are exported as microseconds, the format's native unit;
+* spans still in progress become instant (``"i"``) events so an aborted
+  simulation remains inspectable instead of silently dropping work;
+* each parent/child edge that crosses hosts becomes a flow arrow
+  (``"s"``/``"f"`` pair keyed by the child's span id), so a ``replicate``
+  request can be followed hop by hop: RPC -> GridFTP control -> transfer
+  flows -> catalog update.
+
+All ordering is the trace log's span order plus sorted host/service
+tables, so two identical simulations export byte-identical JSON.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.services.tracelog import Span, TraceLog
+
+__all__ = ["chrome_trace_events", "to_chrome_trace_json", "dump_chrome_trace"]
+
+#: Process row for spans recorded without a host (grid-level work).
+GRID_PROCESS = "grid"
+
+
+def _rows(spans: list[Span]) -> tuple[dict[str, int], dict[tuple[str, str], int]]:
+    """Stable pid/tid assignment: hosts sorted (pid from 1), services
+    sorted within each host (tid from 1)."""
+    hosts = sorted({span.host or GRID_PROCESS for span in spans})
+    pids = {host: i + 1 for i, host in enumerate(hosts)}
+    tids: dict[tuple[str, str], int] = {}
+    by_host: dict[str, set[str]] = {}
+    for span in spans:
+        host = span.host or GRID_PROCESS
+        by_host.setdefault(host, set()).add(span.service or span.kind)
+    for host in hosts:
+        for i, service in enumerate(sorted(by_host[host])):
+            tids[(host, service)] = i + 1
+    return pids, tids
+
+
+def _span_args(span: Span) -> dict:
+    args = {
+        "trace_id": span.trace_id,
+        "span_id": span.span_id,
+        "status": span.status,
+    }
+    if span.parent_id is not None:
+        args["parent_id"] = span.parent_id
+    if span.detail:
+        args["detail"] = span.detail
+    for key, value in span.attrs.items():
+        if not isinstance(value, (str, int, float, bool)) and value is not None:
+            value = str(value)
+        args[key] = value
+    return args
+
+
+def _numeric_id(span_id: str) -> int:
+    """A span's flow-arrow id: the numeric tail of ``s000123``."""
+    digits = "".join(c for c in span_id if c.isdigit())
+    return int(digits) if digits else abs(hash(span_id)) % (1 << 31)
+
+
+def chrome_trace_events(tracelog: TraceLog) -> list[dict]:
+    """The trace log as a list of Chrome trace-event dicts."""
+    spans = tracelog.spans()
+    pids, tids = _rows(spans)
+    events: list[dict] = []
+    for host in sorted(pids):
+        events.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": pids[host],
+            "tid": 0,
+            "args": {"name": host},
+        })
+    for (host, service) in sorted(tids):
+        events.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": pids[host],
+            "tid": tids[(host, service)],
+            "args": {"name": service},
+        })
+    by_id = {span.span_id: span for span in spans}
+    for span in spans:
+        host = span.host or GRID_PROCESS
+        pid = pids[host]
+        tid = tids[(host, span.service or span.kind)]
+        ts = span.start * 1e6
+        if span.end is None:
+            events.append({
+                "name": span.name,
+                "cat": span.kind,
+                "ph": "i",
+                "s": "t",       # thread-scoped instant
+                "ts": ts,
+                "pid": pid,
+                "tid": tid,
+                "args": _span_args(span),
+            })
+        else:
+            events.append({
+                "name": span.name,
+                "cat": span.kind,
+                "ph": "X",
+                "ts": ts,
+                "dur": (span.end - span.start) * 1e6,
+                "pid": pid,
+                "tid": tid,
+                "args": _span_args(span),
+            })
+        parent = by_id.get(span.parent_id) if span.parent_id else None
+        if parent is not None:
+            parent_host = parent.host or GRID_PROCESS
+            if parent_host != host:
+                flow_id = _numeric_id(span.span_id)
+                events.append({
+                    "name": span.name,
+                    "cat": "flow",
+                    "ph": "s",
+                    "id": flow_id,
+                    "ts": parent.start * 1e6,
+                    "pid": pids[parent_host],
+                    "tid": tids[(parent_host, parent.service or parent.kind)],
+                })
+                events.append({
+                    "name": span.name,
+                    "cat": "flow",
+                    "ph": "f",
+                    "bp": "e",
+                    "id": flow_id,
+                    "ts": ts,
+                    "pid": pid,
+                    "tid": tid,
+                })
+    return events
+
+
+def to_chrome_trace_json(tracelog: TraceLog, indent: int = 1) -> str:
+    """The whole log as a Chrome trace JSON document."""
+    return json.dumps(
+        {
+            "traceEvents": chrome_trace_events(tracelog),
+            "displayTimeUnit": "ms",
+        },
+        indent=indent,
+        sort_keys=True,
+    )
+
+
+def dump_chrome_trace(tracelog: TraceLog, path: str, indent: int = 1) -> None:
+    """Write :func:`to_chrome_trace_json` to a file."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(to_chrome_trace_json(tracelog, indent=indent))
+        fh.write("\n")

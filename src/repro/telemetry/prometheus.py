@@ -1,0 +1,119 @@
+"""Prometheus text-format export of a :class:`MetricsRegistry`.
+
+Produces the classic exposition format (text/plain version 0.0.4): one
+``# TYPE`` line per family, then one sample line per child, labels sorted,
+families sorted — so two identical simulations dump byte-identical text.
+
+Mapping of the registry's instrument kinds:
+
+* counters -> ``counter`` samples (name suffixed ``_total``);
+* gauges -> ``gauge`` samples;
+* histograms -> cumulative ``_bucket{le="..."}`` series plus ``_sum`` and
+  ``_count`` (standard Prometheus histogram layout);
+* time series -> three gauge samples per child: ``_last``, ``_avg``
+  (time-weighted), and ``_max`` — the scrapeable digest of a
+  stepwise-constant signal.
+
+Dotted metric names (``gridftp.stream.bytes``) become underscore names
+(``gridftp_stream_bytes``), the only transformation applied.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.metrics import MetricsRegistry
+
+__all__ = ["to_prometheus_text", "dump_prometheus"]
+
+
+def _sanitize(name: str) -> str:
+    """A Prometheus-legal metric name: dots and dashes to underscores."""
+    return "".join(
+        c if (c.isalnum() or c in "_:") else "_" for c in name
+    )
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _labels_text(labels, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    items = [*labels, *extra]
+    if not items:
+        return ""
+    body = ",".join(f'{k}="{_escape_label(v)}"' for k, v in items)
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    """Integral floats print as integers; everything else as repr."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def to_prometheus_text(registry: MetricsRegistry) -> str:
+    """The whole registry as a Prometheus exposition document."""
+    registry.collect()
+    lines: list[str] = []
+    for name in registry.families():
+        kind = registry.kind(name)
+        base = _sanitize(name)
+        if kind == "counter":
+            lines.append(f"# TYPE {base}_total counter")
+            for child in registry.children(name):
+                lines.append(
+                    f"{base}_total{_labels_text(child.labels)} "
+                    f"{_format_value(child.value)}"
+                )
+        elif kind == "gauge":
+            lines.append(f"# TYPE {base} gauge")
+            for child in registry.children(name):
+                lines.append(
+                    f"{base}{_labels_text(child.labels)} "
+                    f"{_format_value(child.value)}"
+                )
+        elif kind == "histogram":
+            lines.append(f"# TYPE {base} histogram")
+            for child in registry.children(name):
+                cumulative = 0
+                for bound, count in zip(child.bounds, child.bucket_counts):
+                    cumulative += count
+                    le = _format_value(bound)
+                    lines.append(
+                        f"{base}_bucket"
+                        f"{_labels_text(child.labels, (('le', le),))} "
+                        f"{cumulative}"
+                    )
+                cumulative += child.bucket_counts[-1]
+                lines.append(
+                    f"{base}_bucket"
+                    f"{_labels_text(child.labels, (('le', '+Inf'),))} "
+                    f"{cumulative}"
+                )
+                lines.append(
+                    f"{base}_sum{_labels_text(child.labels)} "
+                    f"{_format_value(child.total)}"
+                )
+                lines.append(
+                    f"{base}_count{_labels_text(child.labels)} {child.count}"
+                )
+        else:  # time series digest
+            children = list(registry.children(name))
+            for suffix, reader in (
+                ("last", lambda c: c.last),
+                ("avg", lambda c: c.time_average()),
+                ("max", lambda c: c.maximum()),
+            ):
+                lines.append(f"# TYPE {base}_{suffix} gauge")
+                for child in children:
+                    lines.append(
+                        f"{base}_{suffix}{_labels_text(child.labels)} "
+                        f"{_format_value(reader(child))}"
+                    )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def dump_prometheus(registry: MetricsRegistry, path: str) -> None:
+    """Write :func:`to_prometheus_text` to a file."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(to_prometheus_text(registry))

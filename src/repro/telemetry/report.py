@@ -1,0 +1,176 @@
+"""The terminal "grid health report": one page an operator reads.
+
+The GDMP operational papers are blunt that monitoring was the difference
+between a demo and a service; this renderer is the ten-second version of
+that monitoring.  Given a grid's :class:`MetricsRegistry` and
+:class:`TraceLog` it prints:
+
+* a per-subsystem metrics table (subsystem = the first dotted segment of
+  the family name: ``netsim``, ``gridftp``, ``rpc``, ``catalog``,
+  ``storage``, ...), one row per labelled child, with a kind-appropriate
+  digest (counter value, gauge value, histogram count/mean, series
+  last/avg/max);
+* a per-host span summary (how much traced work each host did, and how
+  much of it failed);
+* the top-N slowest finished spans — where the simulated time went;
+* every span still ``in_progress`` — work the simulation ended inside,
+  which would otherwise silently export ``end: null``.
+
+Everything is sorted, so the report is deterministic for a given run.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.services.tracelog import TraceLog
+from repro.telemetry.metrics import MetricsRegistry
+
+__all__ = ["render_health_report", "print_health_report"]
+
+
+def _table(headers: Sequence[str], rows: list[Sequence[str]]) -> list[str]:
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows)) if rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    head = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines = [head, "-" * len(head)]
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return lines
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.4g}"
+
+
+def _labels_text(labels: tuple[tuple[str, str], ...]) -> str:
+    return ",".join(f"{k}={v}" for k, v in labels) or "-"
+
+
+def _digest(kind: str, child) -> str:
+    if kind in ("counter", "gauge"):
+        return _fmt(child.value)
+    if kind == "histogram":
+        if not child.count:
+            return "n=0"
+        return f"n={child.count} mean={_fmt(child.mean)}"
+    if not len(child):
+        return "no samples"
+    return (
+        f"last={_fmt(child.last)} avg={_fmt(child.time_average())} "
+        f"max={_fmt(child.maximum())}"
+    )
+
+
+def render_health_report(
+    registry: Optional[MetricsRegistry],
+    tracelog: Optional[TraceLog] = None,
+    top_n: int = 10,
+) -> str:
+    """The whole report as one printable string."""
+    lines: list[str] = []
+    now = registry.now if registry is not None else (
+        tracelog.sim.now if tracelog is not None else 0.0
+    )
+    n_children = len(registry) if registry is not None else 0
+    n_spans = len(tracelog) if tracelog is not None else 0
+    lines.append(
+        f"=== grid health report — t={now:.3f}s, {n_children} metric "
+        f"series, {n_spans} spans ==="
+    )
+
+    if registry is not None and len(registry):
+        registry.collect()
+        by_subsystem: dict[str, list[Sequence[str]]] = {}
+        for name in registry.families():
+            kind = registry.kind(name)
+            subsystem = name.split(".", 1)[0]
+            for child in registry.children(name):
+                by_subsystem.setdefault(subsystem, []).append(
+                    (name, _labels_text(child.labels), kind,
+                     _digest(kind, child))
+                )
+        for subsystem in sorted(by_subsystem):
+            lines.append("")
+            lines.append(f"-- {subsystem} --")
+            lines.extend(
+                _table(
+                    ("metric", "labels", "kind", "value"),
+                    by_subsystem[subsystem],
+                )
+            )
+
+    if tracelog is not None and len(tracelog):
+        finished = [s for s in tracelog.spans() if s.end is not None]
+        per_host: dict[str, list[int]] = {}
+        for span in tracelog.spans():
+            host = span.host or "-"
+            counts = per_host.setdefault(host, [0, 0, 0])
+            counts[0] += 1
+            if span.status == "error":
+                counts[1] += 1
+            if span.end is None:
+                counts[2] += 1
+        lines.append("")
+        lines.append("-- spans per host --")
+        lines.extend(
+            _table(
+                ("host", "spans", "errors", "open"),
+                [
+                    (host, str(c[0]), str(c[1]), str(c[2]))
+                    for host, c in sorted(per_host.items())
+                ],
+            )
+        )
+
+        slowest = sorted(
+            finished, key=lambda s: (-(s.end - s.start), s.span_id)
+        )[:top_n]
+        if slowest:
+            lines.append("")
+            lines.append(f"-- top {len(slowest)} slowest spans --")
+            lines.extend(
+                _table(
+                    ("duration (s)", "name", "host", "service", "status",
+                     "trace"),
+                    [
+                        (f"{s.end - s.start:.4f}", s.name, s.host or "-",
+                         s.service or "-", s.status, s.trace_id)
+                        for s in slowest
+                    ],
+                )
+            )
+
+        open_spans = tracelog.open_spans()
+        if open_spans:
+            lines.append("")
+            lines.append(
+                f"-- WARNING: {len(open_spans)} spans still in progress at "
+                "simulation end --"
+            )
+            lines.extend(
+                _table(
+                    ("started (s)", "name", "host", "service", "trace"),
+                    [
+                        (f"{s.start:.4f}", s.name, s.host or "-",
+                         s.service or "-", s.trace_id)
+                        for s in open_spans
+                    ],
+                )
+            )
+    return "\n".join(lines)
+
+
+def print_health_report(
+    registry: Optional[MetricsRegistry],
+    tracelog: Optional[TraceLog] = None,
+    top_n: int = 10,
+) -> None:
+    """Render and print the report followed by a blank line."""
+    print(render_health_report(registry, tracelog, top_n=top_n))
+    print()

@@ -82,6 +82,45 @@ def test_json_export_round_trips(sim):
     assert record["attrs"] == {"lfn": "f.db"}
 
 
+def test_to_record_keeps_duration_and_native_attrs(sim):
+    log = TraceLog(sim)
+    span = log.begin("op", streams=3, ratio=0.5, resumed=False,
+                     note=None, payload=object())
+
+    def run():
+        yield sim.timeout(1.5)
+        log.finish(span)
+
+    sim.spawn(run())
+    sim.run()
+    record = span.to_record()
+    assert record["duration"] == 1.5
+    # JSON-native attr values pass through unchanged, not stringified
+    assert record["attrs"]["streams"] == 3
+    assert record["attrs"]["ratio"] == 0.5
+    assert record["attrs"]["resumed"] is False
+    assert record["attrs"]["note"] is None
+    assert isinstance(record["attrs"]["payload"], str)
+
+
+def test_unfinished_record_has_null_end_and_duration(sim):
+    log = TraceLog(sim)
+    record = log.begin("hung").to_record()
+    assert record["end"] is None and record["duration"] is None
+    assert record["status"] == "in_progress"
+
+
+def test_open_spans_tracks_unfinished_work(sim):
+    log = TraceLog(sim)
+    done = log.begin("done")
+    hung = log.begin("hung")
+    assert log.open_spans() == [done, hung]
+    log.finish(done)
+    assert log.open_spans() == [hung]
+    log.finish(hung, "error")
+    assert log.open_spans() == []
+
+
 def test_dump_json_writes_file(sim, tmp_path):
     log = TraceLog(sim)
     log.finish(log.begin("op"))

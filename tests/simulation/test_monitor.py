@@ -41,6 +41,24 @@ def test_timeseries_empty_average_raises():
         TimeSeries().time_average()
 
 
+def test_timeseries_until_before_first_sample_raises():
+    ts = TimeSeries()
+    ts.sample(5.0, 1.0)
+    with pytest.raises(ValueError):
+        ts.time_average(until=4.0)  # no signal before the first sample
+    # the zero-width window degenerates to the first value
+    assert ts.time_average(until=5.0) == 1.0
+
+
+def test_timeseries_until_inside_the_window():
+    ts = TimeSeries()
+    ts.sample(0.0, 10.0)
+    ts.sample(2.0, 0.0)
+    ts.sample(4.0, 0.0)
+    # window [0, 3]: 10 for 2s, 0 for 1s
+    assert ts.time_average(until=3.0) == pytest.approx(20.0 / 3.0)
+
+
 def test_monitor_counters_and_summary():
     mon = Monitor()
     mon.count("bytes", 100)
@@ -60,3 +78,16 @@ def test_monitor_trace_registry_is_stable():
     mon = Monitor()
     assert mon.trace("a") is mon.trace("a")
     assert mon.counter("missing") == 0.0
+
+
+def test_monitor_snapshot_merges_attached_registry():
+    from repro.telemetry import MetricsRegistry
+
+    registry = MetricsRegistry()
+    registry.counter("gridftp.bytes", host="cern").inc(10)
+    mon = Monitor(registry=registry)
+    mon.count("legacy")
+    snap = mon.snapshot()
+    assert snap["counters"]["legacy"] == 1
+    assert snap["metrics"]["gridftp.bytes"]["children"][0]["value"] == 10
+    assert "metrics" not in Monitor().snapshot()

@@ -1,0 +1,117 @@
+"""Tests for the Chrome trace-event exporter."""
+
+import json
+
+import pytest
+
+from repro.services import TraceLog
+from repro.simulation.kernel import Simulator
+from repro.telemetry import chrome_trace_events, to_chrome_trace_json
+from repro.telemetry.chrome_trace import dump_chrome_trace
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def _advance(sim, dt):
+    def tick():
+        yield sim.timeout(dt)
+
+    sim.spawn(tick())
+    sim.run()
+
+
+def test_finished_span_becomes_complete_event(sim):
+    log = TraceLog(sim)
+    span = log.begin("gdmp:replicate", kind="client", host="anl",
+                     service="gdmp", lfn="f.db")
+    _advance(sim, 2.5)
+    log.finish(span)
+    (event,) = [e for e in chrome_trace_events(log) if e["ph"] == "X"]
+    assert event["name"] == "gdmp:replicate"
+    assert event["ts"] == 0.0
+    assert event["dur"] == pytest.approx(2.5e6)  # sim seconds -> us
+    assert event["args"]["lfn"] == "f.db"
+    assert event["args"]["status"] == "ok"
+
+
+def test_process_and_thread_rows_named_per_host(sim):
+    log = TraceLog(sim)
+    log.finish(log.begin("a", host="anl", service="gdmp"))
+    log.finish(log.begin("b", host="cern", service="gridftp"))
+    log.finish(log.begin("c"))  # no host -> synthetic grid row
+    events = chrome_trace_events(log)
+    processes = {
+        e["args"]["name"]: e["pid"]
+        for e in events if e["ph"] == "M" and e["name"] == "process_name"
+    }
+    assert sorted(processes) == ["anl", "cern", "grid"]
+    # pids assigned in sorted host order from 1
+    assert processes["anl"] == 1 and processes["grid"] == 3
+    threads = [
+        e["args"]["name"]
+        for e in events if e["ph"] == "M" and e["name"] == "thread_name"
+    ]
+    assert "gdmp" in threads and "gridftp" in threads
+
+
+def test_open_span_becomes_instant_event(sim):
+    log = TraceLog(sim)
+    log.begin("hung", host="cern")
+    (event,) = [e for e in chrome_trace_events(log) if e["ph"] == "i"]
+    assert event["name"] == "hung"
+    assert event["args"]["status"] == "in_progress"
+
+
+def test_cross_host_parent_edge_becomes_flow_arrow(sim):
+    log = TraceLog(sim)
+    parent = log.begin("request", kind="client", host="anl", service="gdmp")
+    child = log.begin("handle", kind="server", host="cern",
+                      service="gdmp", parent=parent.context)
+    sibling = log.begin("local-step", kind="local", host="anl",
+                        service="gdmp", parent=parent.context)
+    for span in (child, sibling, parent):
+        log.finish(span)
+    events = chrome_trace_events(log)
+    starts = [e for e in events if e["ph"] == "s"]
+    finishes = [e for e in events if e["ph"] == "f"]
+    # only the anl -> cern edge crosses hosts; the local child does not
+    assert len(starts) == len(finishes) == 1
+    assert starts[0]["id"] == finishes[0]["id"]
+    assert starts[0]["pid"] != finishes[0]["pid"]
+    assert starts[0]["name"] == finishes[0]["name"] == "handle"
+
+
+def test_json_document_shape_and_determinism(sim):
+    def build():
+        sim = Simulator()
+        log = TraceLog(sim)
+        parent = log.begin("op", host="anl", service="svc")
+        log.finish(log.begin("child", host="cern", service="svc",
+                             parent=parent.context))
+        log.finish(parent)
+        return to_chrome_trace_json(log)
+
+    first, second = build(), build()
+    assert first == second
+    doc = json.loads(first)
+    assert doc["displayTimeUnit"] == "ms"
+    assert all("ph" in e and "pid" in e for e in doc["traceEvents"])
+
+
+def test_non_json_attrs_stringified(sim):
+    log = TraceLog(sim)
+    log.finish(log.begin("op", host="a", payload=object()))
+    (event,) = [e for e in chrome_trace_events(log) if e["ph"] == "X"]
+    assert isinstance(event["args"]["payload"], str)
+
+
+def test_dump_chrome_trace_writes_file(sim, tmp_path):
+    log = TraceLog(sim)
+    log.finish(log.begin("op", host="a"))
+    path = tmp_path / "trace.json"
+    dump_chrome_trace(log, str(path))
+    doc = json.loads(path.read_text())
+    assert doc["traceEvents"]

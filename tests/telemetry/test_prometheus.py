@@ -1,0 +1,87 @@
+"""Tests for the Prometheus text-format exporter."""
+
+from repro.telemetry import MetricsRegistry, to_prometheus_text
+from repro.telemetry.prometheus import dump_prometheus
+
+
+def test_counter_gets_total_suffix_and_type_line():
+    registry = MetricsRegistry()
+    registry.counter("gridftp.bytes", host="cern").inc(1024)
+    text = to_prometheus_text(registry)
+    assert "# TYPE gridftp_bytes_total counter" in text
+    assert 'gridftp_bytes_total{host="cern"} 1024' in text
+
+
+def test_gauge_plain_name():
+    registry = MetricsRegistry()
+    registry.gauge("pool.occupancy", site="anl").set(0.5)
+    text = to_prometheus_text(registry)
+    assert "# TYPE pool_occupancy gauge" in text
+    assert 'pool_occupancy{site="anl"} 0.5' in text
+
+
+def test_histogram_cumulative_le_buckets_hand_computed():
+    """Same reference case as test_metrics: bounds (1, 10, 100) with
+    per-bucket counts [2, 2, 2, 1] must export cumulatively as
+    2, 4, 6 and +Inf = 7."""
+    registry = MetricsRegistry()
+    hist = registry.histogram("size", bounds=(1.0, 10.0, 100.0), op="stor")
+    for value in (0.5, 1.0, 2.0, 10.0, 99.0, 100.0, 1000.0):
+        hist.observe(value)
+    text = to_prometheus_text(registry)
+    assert "# TYPE size histogram" in text
+    assert 'size_bucket{op="stor",le="1"} 2' in text
+    assert 'size_bucket{op="stor",le="10"} 4' in text
+    assert 'size_bucket{op="stor",le="100"} 6' in text
+    assert 'size_bucket{op="stor",le="+Inf"} 7' in text
+    assert 'size_sum{op="stor"} 1212.5' in text
+    assert 'size_count{op="stor"} 7' in text
+
+
+def test_series_exports_last_avg_max_gauges():
+    registry = MetricsRegistry()
+    series = registry.series("queue", link="wan")
+    series._sample(0.0, 10.0)
+    series._sample(2.0, 0.0)
+    series._sample(4.0, 0.0)
+    text = to_prometheus_text(registry)
+    assert "# TYPE queue_last gauge" in text
+    assert 'queue_last{link="wan"} 0' in text
+    assert 'queue_avg{link="wan"} 5' in text
+    assert 'queue_max{link="wan"} 10' in text
+
+
+def test_label_values_escaped():
+    registry = MetricsRegistry()
+    registry.counter("c", path='a"b\\c').inc()
+    text = to_prometheus_text(registry)
+    assert 'c_total{path="a\\"b\\\\c"} 1' in text
+
+
+def test_empty_registry_exports_empty_document():
+    assert to_prometheus_text(MetricsRegistry()) == ""
+
+
+def test_families_and_children_sorted():
+    registry = MetricsRegistry()
+    registry.counter("b.metric", host="z").inc()
+    registry.counter("b.metric", host="a").inc()
+    registry.counter("a.metric").inc()
+    lines = to_prometheus_text(registry).splitlines()
+    assert lines[0] == "# TYPE a_metric_total counter"
+    host_lines = [ln for ln in lines if ln.startswith("b_metric_total{")]
+    assert host_lines == sorted(host_lines)
+
+
+def test_collectors_run_before_export():
+    registry = MetricsRegistry()
+    registry.add_collector(lambda reg: reg.gauge("scraped").set(9))
+    assert "scraped 9" in to_prometheus_text(registry)
+
+
+def test_dump_prometheus_writes_file(tmp_path):
+    registry = MetricsRegistry()
+    registry.counter("c").inc()
+    path = tmp_path / "metrics.prom"
+    dump_prometheus(registry, str(path))
+    assert path.read_text() == to_prometheus_text(registry)

@@ -1,0 +1,75 @@
+"""Tests for the terminal grid health report."""
+
+from repro.services import TraceLog
+from repro.simulation.kernel import Simulator
+from repro.telemetry import MetricsRegistry, render_health_report
+
+
+def _advance(sim, dt):
+    def tick():
+        yield sim.timeout(dt)
+
+    sim.spawn(tick())
+    sim.run()
+
+
+def test_metrics_grouped_by_subsystem():
+    registry = MetricsRegistry()
+    registry.counter("netsim.flow.bytes", src="cern", dst="anl").inc(100)
+    registry.gauge("storage.pool.occupancy", site="cern").set(0.25)
+    registry.histogram("rpc.latency", service="gdmp").observe(0.02)
+    text = render_health_report(registry)
+    assert "-- netsim --" in text
+    assert "-- storage --" in text
+    assert "-- rpc --" in text
+    assert "src=cern" in text and "dst=anl" in text
+    assert "n=1 mean=0.02" in text
+
+
+def test_span_summary_and_slowest_table():
+    sim = Simulator()
+    log = TraceLog(sim)
+    fast = log.begin("fast-op", host="anl", service="svc")
+    slow = log.begin("slow-op", host="cern", service="svc")
+    _advance(sim, 1.0)
+    log.finish(fast)
+    _advance(sim, 9.0)
+    log.finish(slow, "error", detail="boom")
+    text = render_health_report(None, log, top_n=1)
+    assert "-- spans per host --" in text
+    assert "-- top 1 slowest spans --" in text
+    assert "slow-op" in text
+    lines = text.splitlines()
+    slowest = [ln for ln in lines if "slow-op" in ln and "10.0000" in ln]
+    assert slowest, "slowest span row missing its duration"
+    # fast-op was cut by top_n=1
+    assert not any("fast-op" in ln for ln in lines)
+
+
+def test_open_spans_warned():
+    sim = Simulator()
+    log = TraceLog(sim)
+    log.finish(log.begin("done", host="a"))
+    log.begin("hung", host="a", service="svc")
+    text = render_health_report(None, log)
+    assert "WARNING: 1 spans still in progress" in text
+    assert "hung" in text
+
+
+def test_report_is_deterministic():
+    def build():
+        registry = MetricsRegistry()
+        registry.counter("a.x", h="2").inc()
+        registry.counter("a.x", h="1").inc()
+        sim = Simulator()
+        log = TraceLog(sim)
+        log.finish(log.begin("op", host="cern"))
+        return render_health_report(registry, log)
+
+    assert build() == build()
+
+
+def test_empty_inputs_render_header_only():
+    text = render_health_report(None, None)
+    assert "grid health report" in text
+    assert "0 metric series, 0 spans" in text

@@ -42,6 +42,36 @@ def test_cli_multiple_names():
     assert "=== server ===" in output and "=== staging ===" in output
 
 
+def test_cli_telemetry_flags_export_files(tmp_path):
+    import json
+
+    metrics_path = tmp_path / "metrics.json"
+    chrome_path = tmp_path / "trace.json"
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        code = main([
+            "staging",
+            f"--metrics-json={metrics_path}",
+            f"--trace-chrome={chrome_path}",
+            "--report",
+        ])
+    assert code == 0
+    snapshot = json.loads(metrics_path.read_text())
+    assert "gridftp.bytes_sent" in snapshot
+    trace = json.loads(chrome_path.read_text())
+    assert trace["traceEvents"]
+    assert "grid health report" in buffer.getvalue()
+
+
+def test_cli_telemetry_flags_ignored_by_unsupporting_experiments():
+    # the figure sweeps don't take telemetry keywords; flags must not crash
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        code = main(["server", "--report"])
+    assert code == 0
+    assert "=== server ===" in buffer.getvalue()
+
+
 def test_format_table_alignment_and_floats():
     text = format_table(
         ["name", "value"],

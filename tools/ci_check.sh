@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # CI gate: tier-1 tests, the determinism record, an engine microbench
-# smoke run, and (when available) ruff.
+# smoke run, the telemetry exporter smoke gate, and (when available) ruff.
 #
 #   tools/ci_check.sh
 #
@@ -22,6 +22,10 @@ python tools/determinism_check.py
 echo "== engine microbench (smoke) =="
 python benchmarks/bench_engine_microbench.py --smoke > /dev/null
 python tools/perf_report.py --smoke --output - > /dev/null
+
+echo "== telemetry: exporter shape + determinism (smoke) =="
+python tools/telemetry_smoke.py
+python tools/perf_report.py --telemetry --smoke --output - > /dev/null
 
 echo "== catalog: indexed-vs-naive differential =="
 python -m pytest -x -q tests/catalog/test_search_differential.py

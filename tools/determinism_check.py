@@ -3,7 +3,9 @@
 
 Runs a small grid scenario twice *in the same process* and diffs a full
 fingerprint of each run: the trace log (every span, id, and timestamp),
-the catalog contents, service endpoint names, and monitor snapshots.
+the catalog contents, service endpoint names, monitor snapshots, the
+grid's metrics-registry snapshot (via the grid monitor, which merges it),
+and the rendered Prometheus text exposition.
 
 This is the regression net for global-state leaks: a module-level counter
 (id sequences, endpoint serials) advances across runs and shows up here as
@@ -21,6 +23,7 @@ import sys
 from repro.gdmp import DataGrid, GdmpConfig
 from repro.netsim.units import MB
 from repro.objectrep.index_service import IndexService
+from repro.telemetry import to_prometheus_text
 from repro.workloads.production import ProductionRun
 
 
@@ -67,6 +70,10 @@ def run_scenario() -> dict:
             }
             for name, site in sorted(grid.sites.items())
         },
+        # the grid monitor merges the metrics registry's snapshot under
+        # "metrics", so the labelled telemetry is fingerprinted too
+        "grid_monitor": grid.monitor.snapshot(),
+        "prometheus": to_prometheus_text(grid.metrics),
     }
 
 

@@ -15,6 +15,12 @@ envelope reduction) are compared against the recorded baseline floors and
 the tool exits non-zero when any of them regresses by more than
 ``CATALOG_REGRESSION_TOLERANCE``.
 
+``--telemetry`` measures the metrics-registry overhead: the same gdmp
+replication scenario with the registry attached and detached
+(``DataGrid(metrics=False)``), written to ``BENCH_telemetry.json``.  The
+instrumentation is event-driven and observational, so the overhead ratio
+should stay near 1.0; the record keeps that honest.
+
 ``--smoke`` runs shrunk scenarios and skips the figure sweeps (used by
 ``tools/ci_check.sh`` as a fast sanity gate; it does not overwrite the
 committed record unless ``--output`` says so).
@@ -158,6 +164,72 @@ def build_catalog_report(smoke: bool = False) -> dict:
     }
 
 
+def build_telemetry_report(smoke: bool = False) -> dict:
+    """Time the gdmp replication scenario with and without the registry."""
+    from repro.gdmp import DataGrid, GdmpConfig
+    from repro.netsim.calibration import TUNED_BUFFER_BYTES
+    from repro.netsim.units import MB
+
+    size_mb = 5 if smoke else 25
+    n_files = 2 if smoke else 20
+    reps = 3 if smoke else MEDIAN_REPS
+
+    def scenario(metrics: bool) -> dict:
+        grid = DataGrid(
+            [
+                GdmpConfig("cern", tcp_buffer=TUNED_BUFFER_BYTES,
+                           parallel_streams=3),
+                GdmpConfig("anl", tcp_buffer=TUNED_BUFFER_BYTES,
+                           parallel_streams=3),
+            ],
+            metrics=metrics,
+        )
+        cern, anl = grid.site("cern"), grid.site("anl")
+        for i in range(n_files):
+            lfn = f"f{i:03d}.db"
+            grid.run(until=cern.client.produce_and_publish(lfn, size_mb * MB))
+            grid.run(until=anl.client.replicate(lfn))
+        return {
+            "sim_now": grid.sim.now,
+            "series": len(grid.metrics) if grid.metrics is not None else 0,
+        }
+
+    def timed(metrics: bool) -> tuple[float, dict]:
+        walls = []
+        facts = {}
+        for _ in range(reps):
+            start = time.perf_counter()
+            facts = scenario(metrics)
+            walls.append(time.perf_counter() - start)
+        return statistics.median(walls), facts
+
+    scenario(True)  # warm imports/caches outside the timed region
+    with_s, with_facts = timed(True)
+    without_s, without_facts = timed(False)
+    if with_facts["sim_now"] != without_facts["sim_now"]:
+        raise AssertionError(
+            "telemetry changed the simulated outcome: "
+            f"{with_facts['sim_now']} != {without_facts['sim_now']}"
+        )
+    return {
+        "generated_by": "tools/perf_report.py --telemetry",
+        "protocol": {
+            "scenario": f"{n_files}x {size_mb} MB gdmp replications, "
+                        f"median of {reps} walls after one warm-up",
+            "invariant": "sim_now identical with and without the registry "
+                         "(instrumentation is purely observational)",
+        },
+        "current": {
+            "mode": "smoke" if smoke else "full",
+            "with_registry_s": with_s,
+            "without_registry_s": without_s,
+            "overhead_ratio": with_s / without_s if without_s > 0 else 1.0,
+            "metric_series": with_facts["series"],
+            "sim_now": with_facts["sim_now"],
+        },
+    }
+
+
 def check_catalog_regressions(report: dict) -> list[str]:
     """Gated ratio metrics more than the tolerance below their baseline."""
     mode = report["current"]["mode"]
@@ -185,6 +257,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="measure the catalog layer instead of the "
                              "engine/sweeps; writes BENCH_catalog.json and "
                              "exits non-zero on a gated regression")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="measure metrics-registry overhead (gdmp run "
+                             "with vs without the registry); writes "
+                             "BENCH_telemetry.json")
     parser.add_argument("--output", type=Path, default=None,
                         help="where to write the JSON record "
                              "(default: BENCH_netsim.json / "
@@ -193,6 +269,8 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.catalog:
         report = build_catalog_report(smoke=args.smoke)
+    elif args.telemetry:
+        report = build_telemetry_report(smoke=args.smoke)
     else:
         report = build_report(smoke=args.smoke)
     text = json.dumps(report, indent=2, sort_keys=True) + "\n"
@@ -202,11 +280,21 @@ def main(argv: list[str] | None = None) -> int:
         args.output.write_text(text)
         print(f"wrote {args.output}")
     elif not args.smoke:
-        target = REPO_ROOT / (
-            "BENCH_catalog.json" if args.catalog else "BENCH_netsim.json"
-        )
+        if args.catalog:
+            target = REPO_ROOT / "BENCH_catalog.json"
+        elif args.telemetry:
+            target = REPO_ROOT / "BENCH_telemetry.json"
+        else:
+            target = REPO_ROOT / "BENCH_netsim.json"
         target.write_text(text)
         print(f"wrote {target}")
+    if args.telemetry:
+        current = report["current"]
+        print(f"  with registry:    {current['with_registry_s']:.3f} s "
+              f"({current['metric_series']} series)")
+        print(f"  without registry: {current['without_registry_s']:.3f} s")
+        print(f"  overhead ratio:   {current['overhead_ratio']:.2f}x")
+        return 0
     if args.catalog:
         for row in report["current"]["rows"]:
             print(f"  {row['n_files']} files: "
