@@ -18,6 +18,7 @@ server    EXP-OBJ3 — §5.3 server overhead per serving mode
 catalog   EXP-CAT — replica catalog operation latency local vs WAN
 gdmp      EXP-GDMP — end-to-end replication pipeline with failures
 staging   EXP-MSS — stage-on-demand cost
+chaos     EXP-CHAOS — fault-injection campaigns; recovery convergence
 ========  ==========================================================
 """
 
@@ -26,6 +27,7 @@ from repro.experiments import (  # noqa: F401
     catalog_bench,
     catalog_replication_bench,
     catalog_scale,
+    chaos,
     clustering,
     figure5,
     figure6,
@@ -55,6 +57,7 @@ EXPERIMENTS = {
     "catalog-replication": catalog_replication_bench,
     "catalog-scale": catalog_scale,
     "remote-access": remote_access,
+    "chaos": chaos,
 }
 
 __all__ = ["EXPERIMENTS"]

@@ -10,6 +10,11 @@ matching keyword; others simply ignore them):
 * ``--trace-chrome=PATH`` — dump the trace log as Chrome trace-event JSON
   (load in Perfetto / chrome://tracing);
 * ``--report`` — print the terminal grid health report after the run.
+
+Experiment parameters (likewise forwarded only where supported):
+
+* ``--seed=N`` — simulation seed (e.g. the chaos campaign schedule);
+* ``--campaign=NAME`` — fault class for the chaos experiment.
 """
 
 from __future__ import annotations
@@ -26,6 +31,12 @@ _PATH_FLAGS = {
     "--trace-chrome=": "trace_chrome",
 }
 
+#: flag prefix -> (main() keyword, value converter) for typed flags
+_VALUE_FLAGS = {
+    "--seed=": ("seed", int),
+    "--campaign=": ("campaign", str),
+}
+
 
 def main(argv: list[str]) -> int:
     """Entry point: run the named experiments (or all) and print reports."""
@@ -37,10 +48,15 @@ def main(argv: list[str]) -> int:
                 forwarded[keyword] = arg.split("=", 1)[1]
                 break
         else:
-            if arg == "--report":
-                forwarded["show_report"] = True
+            for prefix, (keyword, convert) in _VALUE_FLAGS.items():
+                if arg.startswith(prefix):
+                    forwarded[keyword] = convert(arg.split("=", 1)[1])
+                    break
             else:
-                names.append(arg)
+                if arg == "--report":
+                    forwarded["show_report"] = True
+                else:
+                    names.append(arg)
     names = names or ["all"]
     if names == ["all"]:
         names = list(EXPERIMENTS)

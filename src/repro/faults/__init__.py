@@ -1,0 +1,30 @@
+"""Deterministic fault injection and replay (see DESIGN.md, "Fault
+model and recovery").
+
+:mod:`repro.faults.campaign` builds seeded, pre-computed fault
+schedules; :mod:`repro.faults.injector` replays them against a
+:class:`~repro.gdmp.grid.DataGrid`.  The recovery side lives with the
+subsystems it protects: :mod:`repro.services.resilience` (retry +
+circuit breaker), the data mover's restart-marker convergence, and the
+catalog's idempotent transactional writes.
+"""
+
+from repro.faults.campaign import (  # noqa: F401
+    FaultCampaign,
+    FaultEvent,
+    catalog_blackhole_campaign,
+    crash_restart_campaign,
+    link_flap_campaign,
+    mss_stall_campaign,
+)
+from repro.faults.injector import FaultInjector  # noqa: F401
+
+__all__ = [
+    "FaultCampaign",
+    "FaultEvent",
+    "FaultInjector",
+    "catalog_blackhole_campaign",
+    "crash_restart_campaign",
+    "link_flap_campaign",
+    "mss_stall_campaign",
+]

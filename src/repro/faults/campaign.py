@@ -1,0 +1,218 @@
+"""Deterministic fault campaigns: what breaks, when, for how long.
+
+A campaign is a frozen, pre-computed schedule of :class:`FaultEvent`
+records — every random draw happens at *build* time from a seeded
+:class:`~repro.simulation.randomness.RandomStreams` generator, so the
+same seed always yields byte-identical schedules (``schedule_repr`` is
+the canonical fingerprint).  The :class:`~repro.faults.injector.
+FaultInjector` then replays the schedule against a live grid without
+drawing another random number.
+
+Event times are *relative to campaign start* (the injector anchors them
+at the sim-time its process begins), so a schedule is independent of how
+long the workload's setup phase took.
+
+Windowed faults (link partitions, host crashes, catalog black-holes)
+are expanded into paired down/up events here; overlapping windows on the
+same target are legal — the injector reference-counts them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = [
+    "FaultEvent",
+    "FaultCampaign",
+    "link_flap_campaign",
+    "crash_restart_campaign",
+    "mss_stall_campaign",
+    "catalog_blackhole_campaign",
+]
+
+#: every fault kind the injector knows how to apply
+FAULT_KINDS = frozenset({
+    "link_down", "link_up",                      # WAN partition window
+    "host_crash", "host_restart",                # whole-host crash window
+    "mss_stall", "mss_error",                    # tape-system misbehaviour
+    "catalog_blackhole", "catalog_restore",      # catalog RPC black-hole
+    "catalog_delay", "catalog_delay_clear",      # catalog RPC extra latency
+})
+
+
+@dataclass(frozen=True, order=True)
+class FaultEvent:
+    """One scheduled fault action.
+
+    ``target`` names what breaks (a link, a host/site, the catalog
+    host); ``param`` carries the kind-specific magnitude — stall
+    duration for ``mss_stall``, error count for ``mss_error``, extra
+    one-way latency for ``catalog_delay``, unused otherwise.  Ordering
+    is (time, kind, target, param), which doubles as the canonical
+    schedule order.
+    """
+
+    time: float
+    kind: str
+    target: str
+    param: float = 0.0
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.time < 0:
+            raise ValueError(f"fault at negative time {self.time}")
+
+
+@dataclass(frozen=True)
+class FaultCampaign:
+    """A named, time-sorted schedule of fault events."""
+
+    name: str
+    events: tuple[FaultEvent, ...]
+
+    def __post_init__(self):
+        ordered = tuple(sorted(self.events))
+        if ordered != tuple(self.events):
+            object.__setattr__(self, "events", ordered)
+
+    @property
+    def horizon(self) -> float:
+        """Relative time of the last scheduled event."""
+        return self.events[-1].time if self.events else 0.0
+
+    def schedule_repr(self) -> str:
+        """Canonical textual schedule — the determinism fingerprint.
+        Two campaigns built from the same seed and parameters produce
+        byte-identical strings."""
+        lines = [f"campaign {self.name} events={len(self.events)}"]
+        for ev in self.events:
+            lines.append(
+                f"{ev.time:.6f} {ev.kind} {ev.target} {ev.param:.6f}"
+            )
+        return "\n".join(lines)
+
+
+def _window_events(rng, count, targets, down_kind, up_kind, *,
+                   start, spread, min_down, max_down):
+    """``count`` down/up pairs over uniformly drawn targets and times."""
+    events = []
+    for _ in range(count):
+        target = targets[int(rng.integers(0, len(targets)))]
+        at = start + float(rng.uniform(0.0, spread))
+        down_for = float(rng.uniform(min_down, max_down))
+        events.append(FaultEvent(round(at, 6), down_kind, target))
+        events.append(FaultEvent(round(at + down_for, 6), up_kind, target))
+    return events
+
+
+def link_flap_campaign(
+    streams,
+    links: Sequence[str],
+    *,
+    flaps: int = 4,
+    start: float = 5.0,
+    spread: float = 90.0,
+    min_down: float = 3.0,
+    max_down: float = 10.0,
+) -> FaultCampaign:
+    """Partition random WAN links for random windows: in-flight control
+    messages are lost, data flows over the link are torn down."""
+    if not links:
+        raise ValueError("no links to flap")
+    rng = streams["faults.link_flap"]
+    return FaultCampaign(
+        "link-flap",
+        tuple(_window_events(
+            rng, flaps, list(links), "link_down", "link_up",
+            start=start, spread=spread,
+            min_down=min_down, max_down=max_down,
+        )),
+    )
+
+
+def crash_restart_campaign(
+    streams,
+    hosts: Sequence[str],
+    *,
+    crashes: int = 3,
+    start: float = 8.0,
+    spread: float = 80.0,
+    min_down: float = 10.0,
+    max_down: float = 25.0,
+) -> FaultCampaign:
+    """Crash random hosts and restart them later: every daemon on the
+    host loses its in-flight state (GridFTP sessions, pending replies)."""
+    if not hosts:
+        raise ValueError("no hosts to crash")
+    rng = streams["faults.crash_restart"]
+    return FaultCampaign(
+        "crash-restart",
+        tuple(_window_events(
+            rng, crashes, list(hosts), "host_crash", "host_restart",
+            start=start, spread=spread,
+            min_down=min_down, max_down=max_down,
+        )),
+    )
+
+
+def mss_stall_campaign(
+    streams,
+    site: str,
+    *,
+    stalls: int = 2,
+    errors: int = 2,
+    start: float = 5.0,
+    spread: float = 120.0,
+    min_stall: float = 20.0,
+    max_stall: float = 60.0,
+) -> FaultCampaign:
+    """Wedge and error a site's tape system: ``stalls`` windows during
+    which stagings hold their drive without progress, plus ``errors``
+    injected :class:`~repro.storage.mss.TapeError` stagings."""
+    rng = streams["faults.mss_stall"]
+    events = []
+    for _ in range(stalls):
+        at = start + float(rng.uniform(0.0, spread))
+        length = float(rng.uniform(min_stall, max_stall))
+        events.append(
+            FaultEvent(round(at, 6), "mss_stall", site, round(length, 6))
+        )
+    for _ in range(errors):
+        at = start + float(rng.uniform(0.0, spread))
+        events.append(FaultEvent(round(at, 6), "mss_error", site, 1.0))
+    return FaultCampaign("mss-stall", tuple(events))
+
+
+def catalog_blackhole_campaign(
+    streams,
+    catalog_host: str,
+    *,
+    windows: int = 2,
+    delays: int = 1,
+    start: float = 5.0,
+    spread: float = 70.0,
+    min_down: float = 8.0,
+    max_down: float = 20.0,
+    extra_delay: float = 2.0,
+) -> FaultCampaign:
+    """Black-hole catalog RPCs at the catalog host for random windows
+    (requests vanish; callers see only their own timeouts), plus
+    ``delays`` windows of added one-way latency on catalog traffic."""
+    rng = streams["faults.catalog_blackhole"]
+    events = _window_events(
+        rng, windows, [catalog_host], "catalog_blackhole",
+        "catalog_restore", start=start, spread=spread,
+        min_down=min_down, max_down=max_down,
+    )
+    for _ in range(delays):
+        at = start + float(rng.uniform(0.0, spread))
+        length = float(rng.uniform(min_down, max_down))
+        events.append(FaultEvent(
+            round(at, 6), "catalog_delay", catalog_host, extra_delay
+        ))
+        events.append(FaultEvent(
+            round(at + length, 6), "catalog_delay_clear", catalog_host
+        ))
+    return FaultCampaign("catalog-blackhole", tuple(events))

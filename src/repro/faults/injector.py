@@ -1,0 +1,256 @@
+"""Replay a :class:`~repro.faults.campaign.FaultCampaign` against a grid.
+
+The injector is a pure *applier*: it draws no random numbers (the
+campaign is fully pre-computed) and touches the grid only through the
+fault hooks the subsystems expose —
+
+* :meth:`MessageNetwork.set_link_down` / ``set_host_down`` /
+  ``set_service_down`` / ``set_service_delay`` for the control plane,
+* :meth:`NetworkEngine.cancel_pool` (via ``pools_on_link`` /
+  ``pools_touching_host``) for data flows in flight,
+* :meth:`GridFTPServer.drop_sessions` for crash-time state loss,
+* :meth:`ServiceClient.fail_pending` so peers' outstanding calls to a
+  crashed host fail as connection resets instead of waiting out their
+  full timeouts,
+* :meth:`MassStorageSystem.inject_stall` / ``inject_errors`` for the
+  tape system.
+
+Down windows run a coarse watchdog (default every 250 ms of sim-time)
+that tears down data pools newly opened across a partitioned link or
+crashed host — the fluid flow engine itself has no notion of link
+health, so without this a transfer started inside a window would
+happily "deliver" bytes over a severed fibre.  Overlapping windows on
+one target are reference-counted; the fault clears only when the last
+window closes.
+
+Every applied event counts ``faults.injected{kind=...}`` in the grid's
+metrics registry and opens/closes a ``fault:<kind>`` span in the trace
+log, so fault windows line up with the affected transfers in the Chrome
+trace.
+"""
+
+from __future__ import annotations
+
+from repro.faults.campaign import FaultCampaign, FaultEvent
+from repro.gdmp.request_manager import RequestServer
+from repro.simulation.kernel import Process
+from repro.simulation.monitor import Monitor
+
+__all__ = ["FaultInjector"]
+
+#: operation prefix black-holed/delayed on the catalog host's gdmp service
+_CATALOG_PREFIX = "catalog."
+
+
+class FaultInjector:
+    """Applies a campaign's events, in schedule order, to one grid."""
+
+    def __init__(self, grid, campaign: FaultCampaign,
+                 watchdog_interval: float = 0.25):
+        self.grid = grid
+        self.campaign = campaign
+        self.sim = grid.sim
+        self.watchdog_interval = watchdog_interval
+        self.monitor = Monitor()
+        #: number of events applied so far
+        self.injected = 0
+        #: data pools torn down by partitions/crashes
+        self.pools_cancelled = 0
+        self._active: dict[tuple[str, str], int] = {}
+        self._spans: dict[tuple[str, str], object] = {}
+
+    # -- lifecycle ---------------------------------------------------------------
+    def start(self) -> Process:
+        """Spawn the campaign process; event times are relative to now."""
+        return self.sim.spawn(
+            self._run(), name=f"fault-campaign {self.campaign.name}"
+        )
+
+    def _run(self):
+        t0 = self.sim.now
+        for event in self.campaign.events:
+            at = t0 + event.time
+            if at > self.sim.now:
+                yield self.sim.timeout(at - self.sim.now)
+            self._apply(event)
+        return self.injected
+
+    def _apply(self, event: FaultEvent) -> None:
+        getattr(self, "_apply_" + event.kind)(event)
+        self.injected += 1
+        self.monitor.count(f"faults.{event.kind}")
+        if self.grid.metrics is not None:
+            self.grid.metrics.counter(
+                "faults.injected", kind=event.kind
+            ).inc()
+
+    # -- bookkeeping helpers ----------------------------------------------------
+    def _bump(self, key: tuple[str, str], delta: int) -> int:
+        count = max(0, self._active.get(key, 0) + delta)
+        if count:
+            self._active[key] = count
+        else:
+            self._active.pop(key, None)
+        return count
+
+    def _open_span(self, key: tuple[str, str], name: str, **attrs) -> None:
+        if self.grid.tracelog is None:
+            return
+        self._spans[key] = self.grid.tracelog.begin(
+            name, kind="fault", host=key[1], service="faults", **attrs
+        )
+
+    def _close_span(self, key: tuple[str, str]) -> None:
+        span = self._spans.pop(key, None)
+        if span is not None:
+            self.grid.tracelog.finish(span, "ok")
+
+    def _flash_span(self, name: str, target: str, **attrs) -> None:
+        """An instantaneous fault (no window) still shows in the trace."""
+        if self.grid.tracelog is None:
+            return
+        span = self.grid.tracelog.begin(
+            name, kind="fault", host=target, service="faults", **attrs
+        )
+        self.grid.tracelog.finish(span, "ok")
+
+    def _cancel(self, pool, reason: str) -> None:
+        try:
+            self.grid.engine.cancel_pool(pool, reason)
+        except ValueError:
+            return  # pool completed in the same timestep; nothing to kill
+        self.pools_cancelled += 1
+        self.monitor.count("pools_cancelled")
+
+    def _watchdog(self, key: tuple[str, str], pools_of, reason: str):
+        """While a down window is active, tear down any data pool that
+        (re)opened across the broken element."""
+        while self._active.get(key, 0) > 0:
+            yield self.sim.timeout(self.watchdog_interval)
+            for pool in pools_of():
+                self._cancel(pool, reason)
+
+    # -- link partitions --------------------------------------------------------
+    def _apply_link_down(self, event: FaultEvent) -> None:
+        key = ("link", event.target)
+        if self._bump(key, +1) > 1:
+            return
+        grid = self.grid
+        grid.msgnet.set_link_down(event.target, True)
+        self._open_span(key, "fault:link_down")
+        reason = f"link {event.target} down"
+        for pool in grid.engine.pools_on_link(event.target):
+            self._cancel(pool, reason)
+        self.sim.spawn(
+            self._watchdog(
+                key,
+                lambda: grid.engine.pools_on_link(event.target),
+                reason,
+            ),
+            name=f"fault-watchdog link {event.target}",
+        )
+
+    def _apply_link_up(self, event: FaultEvent) -> None:
+        key = ("link", event.target)
+        if self._bump(key, -1) == 0:
+            self.grid.msgnet.set_link_down(event.target, False)
+            self._close_span(key)
+
+    # -- host crashes -----------------------------------------------------------
+    def _crash_host_state(self, host: str) -> None:
+        """In-flight state loss at crash (and again at restart: a rebooted
+        daemon remembers nothing either way)."""
+        grid = self.grid
+        site = grid.sites.get(host)
+        if site is not None:
+            site.gridftp_server.drop_sessions()
+        # peers' outstanding calls to this host will never be answered:
+        # surface them as connection resets now (clients whose requests
+        # are mid-flight still pay their own timeout, as on a real crash
+        # where the RST only comes once the kernel is back)
+        for name in sorted(grid.sites):
+            peer = grid.sites[name]
+            peer.request_client.fail_pending(host, f"host {host} crashed")
+            peer.gridftp_client.bus.fail_pending(host, f"host {host} crashed")
+
+    def _apply_host_crash(self, event: FaultEvent) -> None:
+        key = ("host", event.target)
+        if self._bump(key, +1) > 1:
+            return
+        grid = self.grid
+        grid.msgnet.set_host_down(event.target, True)
+        self._open_span(key, "fault:host_crash")
+        reason = f"host {event.target} crashed"
+        for pool in grid.engine.pools_touching_host(event.target):
+            self._cancel(pool, reason)
+        self._crash_host_state(event.target)
+        self.sim.spawn(
+            self._watchdog(
+                key,
+                lambda: grid.engine.pools_touching_host(event.target),
+                reason,
+            ),
+            name=f"fault-watchdog host {event.target}",
+        )
+
+    def _apply_host_restart(self, event: FaultEvent) -> None:
+        key = ("host", event.target)
+        if self._bump(key, -1) == 0:
+            self.grid.msgnet.set_host_down(event.target, False)
+            self._crash_host_state(event.target)
+            self._close_span(key)
+
+    # -- tape system ------------------------------------------------------------
+    def _site_mss(self, site_name: str):
+        mss = self.grid.site(site_name).mss
+        if mss is None:
+            raise ValueError(f"site {site_name!r} has no MSS to break")
+        return mss
+
+    def _apply_mss_stall(self, event: FaultEvent) -> None:
+        self._site_mss(event.target).inject_stall(self.sim.now + event.param)
+        self._flash_span("fault:mss_stall", event.target,
+                         duration=event.param)
+
+    def _apply_mss_error(self, event: FaultEvent) -> None:
+        self._site_mss(event.target).inject_errors(int(event.param) or 1)
+        self._flash_span("fault:mss_error", event.target)
+
+    # -- replica catalog --------------------------------------------------------
+    def _apply_catalog_blackhole(self, event: FaultEvent) -> None:
+        key = ("catalog", event.target)
+        if self._bump(key, +1) > 1:
+            return
+        self.grid.msgnet.set_service_down(
+            event.target, RequestServer.SERVICE, True,
+            prefix=_CATALOG_PREFIX,
+        )
+        self._open_span(key, "fault:catalog_blackhole")
+
+    def _apply_catalog_restore(self, event: FaultEvent) -> None:
+        key = ("catalog", event.target)
+        if self._bump(key, -1) == 0:
+            self.grid.msgnet.set_service_down(
+                event.target, RequestServer.SERVICE, False,
+                prefix=_CATALOG_PREFIX,
+            )
+            self._close_span(key)
+
+    def _apply_catalog_delay(self, event: FaultEvent) -> None:
+        self.grid.msgnet.set_service_delay(
+            event.target, RequestServer.SERVICE, extra=event.param,
+            prefix=_CATALOG_PREFIX,
+        )
+        self._flash_span("fault:catalog_delay", event.target,
+                         extra=event.param)
+
+    def _apply_catalog_delay_clear(self, event: FaultEvent) -> None:
+        self.grid.msgnet.set_service_delay(
+            event.target, RequestServer.SERVICE, extra=0.0,
+            prefix=_CATALOG_PREFIX,
+        )
+
+    # -- introspection ----------------------------------------------------------
+    def active_faults(self) -> dict[tuple[str, str], int]:
+        """Currently-open down windows (refcounts), for assertions."""
+        return dict(self._active)

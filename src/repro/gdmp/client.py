@@ -25,10 +25,17 @@ from repro.gdmp.data_mover import DataMover, DataMoverError
 from repro.gdmp.plugins import PluginRegistry
 from repro.gdmp.replica_selection import rank_replicas
 from repro.gdmp.replica_service import CatalogProxy
-from repro.gdmp.request_manager import GdmpError, RemoteError, RequestClient
+from repro.gdmp.request_manager import (
+    GdmpError,
+    RemoteError,
+    RequestClient,
+    RequestTimeout,
+)
 from repro.gdmp.server import GdmpServer
 from repro.gdmp.storage_manager import StorageManager
 from repro.netsim.topology import Topology
+from repro.services.bus import ConnectionReset, ServiceError
+from repro.services.resilience import CircuitOpenError
 from repro.services.tracelog import TraceLog
 from repro.simulation.kernel import Process, Simulator
 from repro.simulation.monitor import Monitor
@@ -249,7 +256,12 @@ class GdmpClient:
                     reservation.release()
                 raise
             finally:
-                yield self.rpc.call(source, "release", {"lfn": lfn})
+                # best-effort: a crashed source cannot answer, and the
+                # goodbye must never mask the failure being propagated
+                try:
+                    yield self.rpc.call(source, "release", {"lfn": lfn})
+                except ServiceError:
+                    self.monitor.count("release_failures")
             self.storage.commit_incoming(report.stored, reservation)
             return report, stage_wait, transfer_duration
 
@@ -281,7 +293,16 @@ class GdmpClient:
                 file_info = info
             local_path = self.config.storage_path(lfn)
             if self.storage.fs.exists(local_path):
-                raise GdmpError(f"{self.site} already holds {lfn!r}")
+                if lfn in self.server.held:
+                    raise GdmpError(f"{self.site} already holds {lfn!r}")
+                # a file on disk that was never recorded as held is debris
+                # from an earlier attempt interrupted between materializing
+                # the bytes and the local bookkeeping (e.g. a host crash
+                # mid-pipeline): purge it and transfer afresh, so an
+                # interrupted replication converges instead of wedging on
+                # "already present"
+                self.storage.fs.delete(local_path)
+                self.monitor.count("orphans_purged")
 
             # source ranking: preferred producer first if it has a replica,
             # then the cost-function order; failed sources are skipped
@@ -309,10 +330,20 @@ class GdmpClient:
                         name=f"gdmp-attempt {lfn}@{source}",
                     )
                     break
-                except (DataMoverError, RemoteError) as exc:
+                except (
+                    DataMoverError,
+                    RemoteError,
+                    RequestTimeout,
+                    ConnectionReset,
+                    CircuitOpenError,
+                ) as exc:
                     failed.append(source)
                     last_error = exc
                     self.monitor.count("source_failovers")
+                    if self.mover.metrics is not None:
+                        self.mover.metrics.counter(
+                            "gdmp.mover.failovers", site=self.site
+                        ).inc()
             else:
                 raise GdmpError(
                     f"all {len(candidates)} replica sources failed for "
@@ -349,6 +380,7 @@ class GdmpClient:
         prefer_site: Optional[str] = None,
         streams: Optional[int] = None,
         tcp_buffer: Optional[int] = None,
+        skip_held: bool = False,
     ) -> Process:
         """Replicate a whole transfer set with batched catalog traffic.
 
@@ -360,6 +392,12 @@ class GdmpClient:
         are still registered before the error propagates (no replica is
         left invisible to the grid).  Returns the list of
         :class:`ReplicationReport` in input order.
+
+        ``skip_held`` makes the call re-entrant after an interruption:
+        files already held locally are not transferred again, but still
+        join the registration flush — ``add_replica`` is idempotent at
+        the catalog, so this repairs a registration that a previous,
+        interrupted pass transferred but never managed to flush.
         """
         lfns = list(lfns)
 
@@ -372,6 +410,9 @@ class GdmpClient:
                     infos = yield self.catalog.info_bulk(lfns)
                     try:
                         for file_info in infos:
+                            if skip_held and file_info.lfn in self.server.held:
+                                registered.append(file_info.lfn)
+                                continue
                             report = yield self.replicate(
                                 file_info.lfn,
                                 prefer_site=prefer_site,

@@ -22,11 +22,21 @@ from repro.simulation.kernel import Process, Simulator
 from repro.simulation.monitor import Monitor
 from repro.storage.filesystem import FileSystem, StoredFile
 
-__all__ = ["DataMover", "DataMoverError", "MoveReport"]
+__all__ = ["DataMover", "DataMoverError", "TransferAbandoned", "MoveReport"]
 
 
 class DataMoverError(Exception):
     """Transfer could not be completed within the retry budget."""
+
+
+class TransferAbandoned(DataMoverError):
+    """The restart/stall budget is exhausted.  ``partial`` carries the
+    ranges known transferred (from consumed restart markers) so callers
+    can clean up — or later resume — deterministically."""
+
+    def __init__(self, message: str, partial: RangeSet):
+        super().__init__(message)
+        self.partial = partial
 
 
 @dataclass(frozen=True)
@@ -56,6 +66,8 @@ class DataMover:
         filesystem: FileSystem,
         max_restart_attempts: int = 3,
         max_crc_retries: int = 2,
+        max_stalled_attempts: int = 8,
+        stall_backoff: float = 0.25,
         metrics=None,
         site: str = "",
     ):
@@ -64,6 +76,14 @@ class DataMover:
         self.fs = filesystem
         self.max_restart_attempts = max_restart_attempts
         self.max_crc_retries = max_crc_retries
+        #: budget for restarts that bring *no new bytes* (e.g. a link cut
+        #: right at connection setup) — bounded separately so a flapping
+        #: link cannot burn the real restart budget without progress,
+        #: while a black hole still terminates.
+        self.max_stalled_attempts = max_stalled_attempts
+        #: pause before re-dialling after a zero-progress restart; never
+        #: taken on a healthy transfer.
+        self.stall_backoff = stall_backoff
         self.monitor = Monitor()
         #: optional MetricsRegistry + site label for recovery counters
         self.metrics = metrics
@@ -84,14 +104,22 @@ class DataMover:
 
         def run():
             started = self.sim.now
-            session = yield self.ftp.connect(src_host)
+            try:
+                session = yield self.ftp.connect(src_host)
+            except TransferError as exc:
+                raise DataMoverError(
+                    f"connect to {src_host!r} failed: {exc}"
+                ) from exc
             attempts = 0
             crc_retries = 0
             try:
-                if tcp_buffer is not None:
-                    yield self.ftp.set_buffer(session, tcp_buffer)
-                if streams != 1:
-                    yield self.ftp.set_parallelism(session, streams)
+                try:
+                    if tcp_buffer is not None:
+                        yield self.ftp.set_buffer(session, tcp_buffer)
+                    if streams != 1:
+                        yield self.ftp.set_parallelism(session, streams)
+                except TransferError as exc:
+                    raise DataMoverError(str(exc)) from exc
                 if expected_crc is None:
                     # no catalog CRC available: ask the source (CKSM)
                     try:
@@ -102,6 +130,10 @@ class DataMover:
                     crc = expected_crc
                 while True:
                     restart: Optional[RangeSet] = None
+                    # ranges known delivered, merged from every marker seen
+                    progress = RangeSet()
+                    consumed = 0    # restarts that actually gained bytes
+                    stalled = 0     # consecutive zero-progress restarts
                     # inner loop: restart-marker recovery of one transfer
                     while True:
                         attempts += 1
@@ -114,17 +146,45 @@ class DataMover:
                             marker = exc.restart_marker
                             if marker is None:
                                 raise DataMoverError(str(exc)) from exc
-                            self.monitor.count("restarts")
-                            if self.metrics is not None:
-                                self.metrics.counter(
-                                    "gdmp.mover.restarts", site=self.site
-                                ).inc()
-                            if attempts > self.max_restart_attempts:
-                                raise DataMoverError(
-                                    f"gave up on {remote_path!r} after "
-                                    f"{attempts} attempts"
-                                ) from exc
-                            restart = marker.ranges
+                            before = progress.total
+                            for start, end in marker.ranges:
+                                if end > start:
+                                    progress.add(start, end)
+                            if progress.total > before:
+                                # the marker bought new bytes: it is
+                                # consumed, and only then burns budget
+                                consumed += 1
+                                stalled = 0
+                                self.monitor.count("restarts")
+                                if self.metrics is not None:
+                                    self.metrics.counter(
+                                        "gdmp.mover.restarts", site=self.site
+                                    ).inc()
+                                if consumed > self.max_restart_attempts:
+                                    self._count_abandoned()
+                                    raise TransferAbandoned(
+                                        f"gave up on {remote_path!r} after "
+                                        f"{consumed} consumed restart "
+                                        f"markers",
+                                        partial=progress,
+                                    ) from exc
+                            else:
+                                stalled += 1
+                                self.monitor.count("stalled_restarts")
+                                if self.metrics is not None:
+                                    self.metrics.counter(
+                                        "gdmp.mover.stalls", site=self.site
+                                    ).inc()
+                                if stalled > self.max_stalled_attempts:
+                                    self._count_abandoned()
+                                    raise TransferAbandoned(
+                                        f"no progress on {remote_path!r} "
+                                        f"after {stalled} stalled attempts",
+                                        partial=progress,
+                                    ) from exc
+                                if self.stall_backoff > 0:
+                                    yield self.sim.timeout(self.stall_backoff)
+                            restart = progress if len(progress) else None
                     stored = self.fs.stat(local_path)
                     if stored.crc == crc:
                         self.monitor.count("bytes_moved", stored.size)
@@ -160,9 +220,21 @@ class DataMover:
                             f"after {crc_retries} re-transfers"
                         )
             finally:
-                yield self.ftp.quit(session)
+                try:
+                    yield self.ftp.quit(session)
+                except TransferError:
+                    # a dead server cannot answer QUIT; don't let the
+                    # goodbye mask the real failure
+                    self.monitor.count("quit_failures")
 
         return self.sim.spawn(run(), name=f"data-mover {remote_path}")
+
+    def _count_abandoned(self) -> None:
+        self.monitor.count("abandoned")
+        if self.metrics is not None:
+            self.metrics.counter(
+                "gdmp.mover.abandoned", site=self.site
+            ).inc()
 
     def verify_local(self, path: str, expected_crc: int) -> bool:
         """Check a file already on disk against a catalog CRC."""

@@ -33,8 +33,14 @@ from repro.objectdb.federation import Federation
 from repro.security.ca import CertificateAuthority
 from repro.security.credentials import new_user_credential
 from repro.security.gridmap import GridMap
+from repro.services.resilience import (
+    CircuitBreakerMiddleware,
+    ResilienceConfig,
+    RetryMiddleware,
+)
 from repro.services.tracelog import TraceLog
 from repro.simulation.kernel import Simulator
+from repro.simulation.randomness import RandomStreams
 from repro.simulation.monitor import Monitor
 from repro.storage.diskpool import DiskPool
 from repro.storage.filesystem import FileSystem
@@ -146,6 +152,8 @@ class DataGrid:
         )
         for site in self.sites.values():
             self._finish_site(site)
+        #: the active ResilienceConfig once enable_resilience() has run
+        self.resilience: Optional[ResilienceConfig] = None
         if self.metrics is not None:
             self.metrics.add_collector(self._collect_passive_state)
 
@@ -245,6 +253,50 @@ class DataGrid:
             site_runtime=site,
             tracelog=self.tracelog,
         )
+
+    # -- recovery policies ---------------------------------------------------------
+    def enable_resilience(
+        self, config: Optional[ResilienceConfig] = None
+    ) -> ResilienceConfig:
+        """Arm the grid's recovery policies (off by default, so a plain
+        grid observes failures exactly as an unhardened deployment would
+        and baseline outputs stay bit-identical).
+
+        Per site: the request-manager client gets a seeded-jitter
+        :class:`RetryMiddleware` over a per-server
+        :class:`CircuitBreakerMiddleware`, a default RPC timeout, and
+        fail-fast refusal of calls to known-down hosts; the GridFTP client
+        gets the same timeout/fail-fast treatment plus an idle timeout on
+        transfers — but deliberately *no* retry middleware, because a
+        blindly re-issued RETR would bypass restart-marker recovery (the
+        data mover owns transfer retries).
+        """
+        config = config if config is not None else ResilienceConfig()
+        self.resilience = config
+        streams = RandomStreams(self.engine_seed)
+        for name in sorted(self.sites):
+            site = self.sites[name]
+            rpc = site.request_client
+            rpc.default_timeout = config.rpc_timeout
+            rpc.fail_fast_when_down = True
+            rpc.use_middlewares((
+                RetryMiddleware(
+                    config.retry,
+                    rng=streams[f"resilience.retry.{name}"],
+                    metrics=self.metrics,
+                ),
+                CircuitBreakerMiddleware(
+                    failure_threshold=config.failure_threshold,
+                    cooldown=config.cooldown,
+                    metrics=self.metrics,
+                    service=rpc.service,
+                ),
+            ))
+            ftp_bus = site.gridftp_client.bus
+            ftp_bus.default_timeout = config.rpc_timeout
+            ftp_bus.fail_fast_when_down = True
+            site.gridftp_client.idle_timeout = config.idle_timeout
+        return config
 
     # -- telemetry ---------------------------------------------------------------
     def _collect_passive_state(self, registry: MetricsRegistry) -> None:

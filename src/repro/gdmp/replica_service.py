@@ -68,6 +68,12 @@ class ReplicaCatalogService:
         #: called with (operation, payload) after each successful write —
         #: the hook :mod:`repro.gdmp.catalog_replication` propagates from.
         self.write_listeners: list = []
+        #: transaction-id -> result of writes already applied.  A client
+        #: whose *reply* was lost retries the same write with the same
+        #: ``txn``; replaying the stored result instead of re-applying
+        #: keeps writes exactly-once (no duplicate LFNs from a retried
+        #: ``publish``, no double notifications).
+        self._applied: dict[str, object] = {}
         for op in (
             "publish",
             "publish_bulk",
@@ -98,8 +104,27 @@ class ReplicaCatalogService:
         for listener in self.write_listeners:
             listener(operation, payload)
 
+    # -- exactly-once write plumbing -----------------------------------------
+    def _txn_seen(self, payload) -> tuple[Optional[str], bool]:
+        """(txn, already_applied) for an idempotent write request."""
+        txn = payload.get("txn") if isinstance(payload, dict) else None
+        if txn is not None and txn in self._applied:
+            if self.metrics is not None:
+                self.metrics.counter("catalog.txn_replays").inc()
+            return txn, True
+        return txn, False
+
+    @staticmethod
+    def _without_txn(payload: dict) -> dict:
+        """The write payload as listeners should see it (the transaction
+        id is client-side plumbing, not catalog state)."""
+        return {k: v for k, v in payload.items() if k != "txn"}
+
     def _op_publish(self, request: AuthenticatedRequest):
         p = request.payload
+        txn, seen = self._txn_seen(p)
+        if seen:
+            return self._applied[txn]
         try:
             lfn = self.catalog.publish(
                 p["site"],
@@ -111,17 +136,24 @@ class ReplicaCatalogService:
             )
         except CatalogError as exc:
             raise GdmpError(str(exc)) from exc
-        self._notify_write("publish", {**p, "lfn": lfn})
+        if txn is not None:
+            self._applied[txn] = lfn
+        self._notify_write("publish", {**self._without_txn(p), "lfn": lfn})
         return lfn
         yield  # pragma: no cover - marks this function as a generator
 
     def _op_publish_bulk(self, request: AuthenticatedRequest):
         p = request.payload
+        txn, seen = self._txn_seen(p)
+        if seen:
+            return self._applied[txn]
         self._observe_batch("publish", len(p["files"]))
         try:
             lfns = self.catalog.publish_bulk(p["site"], p["files"])
         except CatalogError as exc:
             raise GdmpError(str(exc)) from exc
+        if txn is not None:
+            self._applied[txn] = lfns
         # propagate with the generated LFNs filled in, so replicas replay
         # the registration byte-for-byte
         files = [
@@ -134,46 +166,64 @@ class ReplicaCatalogService:
         yield  # pragma: no cover
 
     def _op_add_replica(self, request: AuthenticatedRequest):
+        p = request.payload
+        txn, seen = self._txn_seen(p)
+        if seen:
+            return self._applied[txn]
         try:
-            self.catalog.add_replica(request.payload["lfn"], request.payload["site"])
+            self.catalog.add_replica(p["lfn"], p["site"])
         except CatalogError as exc:
             raise GdmpError(str(exc)) from exc
-        self._notify_write("add_replica", dict(request.payload))
+        if txn is not None:
+            self._applied[txn] = True
+        self._notify_write("add_replica", self._without_txn(p))
         return True
         yield  # pragma: no cover
 
     def _op_add_replica_bulk(self, request: AuthenticatedRequest):
-        self._observe_batch("add_replica", len(request.payload["lfns"]))
+        p = request.payload
+        txn, seen = self._txn_seen(p)
+        if seen:
+            return self._applied[txn]
+        self._observe_batch("add_replica", len(p["lfns"]))
         try:
-            self.catalog.add_replicas(
-                list(request.payload["lfns"]), request.payload["site"]
-            )
+            self.catalog.add_replicas(list(p["lfns"]), p["site"])
         except CatalogError as exc:
             raise GdmpError(str(exc)) from exc
-        self._notify_write("add_replica_bulk", dict(request.payload))
+        if txn is not None:
+            self._applied[txn] = True
+        self._notify_write("add_replica_bulk", self._without_txn(p))
         return True
         yield  # pragma: no cover
 
     def _op_remove_replica(self, request: AuthenticatedRequest):
+        p = request.payload
+        txn, seen = self._txn_seen(p)
+        if seen:
+            return self._applied[txn]
         try:
-            self.catalog.remove_replica(
-                request.payload["lfn"], request.payload["site"]
-            )
+            self.catalog.remove_replica(p["lfn"], p["site"])
         except CatalogError as exc:
             raise GdmpError(str(exc)) from exc
-        self._notify_write("remove_replica", dict(request.payload))
+        if txn is not None:
+            self._applied[txn] = True
+        self._notify_write("remove_replica", self._without_txn(p))
         return True
         yield  # pragma: no cover
 
     def _op_remove_replica_bulk(self, request: AuthenticatedRequest):
-        self._observe_batch("remove_replica", len(request.payload["lfns"]))
+        p = request.payload
+        txn, seen = self._txn_seen(p)
+        if seen:
+            return self._applied[txn]
+        self._observe_batch("remove_replica", len(p["lfns"]))
         try:
-            self.catalog.remove_replicas(
-                list(request.payload["lfns"]), request.payload["site"]
-            )
+            self.catalog.remove_replicas(list(p["lfns"]), p["site"])
         except CatalogError as exc:
             raise GdmpError(str(exc)) from exc
-        self._notify_write("remove_replica_bulk", dict(request.payload))
+        if txn is not None:
+            self._applied[txn] = True
+        self._notify_write("remove_replica_bulk", self._without_txn(p))
         return True
         yield  # pragma: no cover
 
@@ -240,16 +290,51 @@ class CatalogProxy:
         #: raw deployment latency switch it off)
         self.cache_enabled = cache
         self._cache: dict[tuple[str, str], object] = {}
-        self.stats = {"cache_hits": 0, "cache_misses": 0, "envelopes": 0}
+        self.stats = {
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "envelopes": 0,
+            "failure_invalidations": 0,
+        }
 
     # -- plumbing -------------------------------------------------------------
+    def _txn(self) -> str:
+        """A fresh transaction id for one logical write.  Minted once per
+        write *process*, so transport-level retries of the same write
+        carry the same id and the catalog applies it exactly once."""
+        sim = self.client.sim
+        return (
+            f"{self.client.host.name}:{sim.next_serial('catalog-txn')}"
+        )
+
     def _call(self, host: str, operation: str, payload, n_items: int = 0):
         self.stats["envelopes"] += 1
-        return self.client.call(
-            host,
-            operation,
-            payload,
-            size=REQUEST_MESSAGE_SIZE + BULK_ITEM_SIZE * n_items,
+
+        def guarded():
+            # The RPC process is created *inside* the guard, so the guard
+            # is already waiting on it when it starts: a call that fails
+            # synchronously (open circuit breaker, fail-fast to a known-
+            # down host) is observed here instead of crashing the sim as
+            # an unwaited process.
+            try:
+                result = yield self.client.call(
+                    host,
+                    operation,
+                    payload,
+                    size=REQUEST_MESSAGE_SIZE + BULK_ITEM_SIZE * n_items,
+                )
+            except Exception:
+                # A failed catalog RPC means the catalog host (or the path
+                # to it) is suspect: a cached answer must not outlive the
+                # divergence window of a crashed or partitioned replica.
+                if self._cache:
+                    self._cache.clear()
+                    self.stats["failure_invalidations"] += 1
+                raise
+            return result
+
+        return self.client.sim.spawn(
+            guarded(), name=f"catalog-guard {operation}"
         )
 
     def _immediate(self, value) -> Process:
@@ -310,6 +395,7 @@ class CatalogProxy:
                     "crc": crc,
                     "lfn": lfn,
                     "attributes": attributes,
+                    "txn": self._txn(),
                 },
             )
             self.invalidate(result)
@@ -325,7 +411,7 @@ class CatalogProxy:
             lfns = yield self._call(
                 self.catalog_host,
                 "catalog.publish_bulk",
-                {"site": site, "files": files},
+                {"site": site, "files": files, "txn": self._txn()},
                 n_items=len(files),
             )
             for fresh in lfns:
@@ -341,7 +427,9 @@ class CatalogProxy:
 
         def run():
             result = yield self._call(
-                self.catalog_host, "catalog.add_replica", {"lfn": lfn, "site": site}
+                self.catalog_host,
+                "catalog.add_replica",
+                {"lfn": lfn, "site": site, "txn": self._txn()},
             )
             self.invalidate(lfn)
             return result
@@ -356,7 +444,7 @@ class CatalogProxy:
             result = yield self._call(
                 self.catalog_host,
                 "catalog.add_replica_bulk",
-                {"lfns": list(lfns), "site": site},
+                {"lfns": list(lfns), "site": site, "txn": self._txn()},
                 n_items=len(lfns),
             )
             for lfn in lfns:
@@ -374,7 +462,7 @@ class CatalogProxy:
             result = yield self._call(
                 self.catalog_host,
                 "catalog.remove_replica",
-                {"lfn": lfn, "site": site},
+                {"lfn": lfn, "site": site, "txn": self._txn()},
             )
             self.invalidate(lfn)
             return result
@@ -388,7 +476,7 @@ class CatalogProxy:
             result = yield self._call(
                 self.catalog_host,
                 "catalog.remove_replica_bulk",
-                {"lfns": list(lfns), "site": site},
+                {"lfns": list(lfns), "site": site, "txn": self._txn()},
                 n_items=len(lfns),
             )
             for lfn in lfns:

@@ -62,6 +62,8 @@ class GdmpError(ServiceError):
 class RequestTimeout(GdmpError):
     """No reply from the remote GDMP server within the deadline."""
 
+    retryable = True
+
 
 class RemoteError(GdmpError):
     """An error raised by a remote handler, re-raised at the caller."""

@@ -27,7 +27,7 @@ from repro.netsim.channels import MessageNetwork
 from repro.netsim.topology import Host
 from repro.netsim.units import KiB
 from repro.security.credentials import Credential
-from repro.services.bus import ServiceClient
+from repro.services.bus import CallTimeout, ConnectionReset, ServiceClient
 from repro.services.tracelog import TraceLog
 from repro.simulation.kernel import Process, Simulator
 from repro.storage.filesystem import FileSystem, StoredFile
@@ -97,6 +97,12 @@ class GridFTPClient:
         self.host = host
         self.credential = credential
         self.fs = filesystem
+        #: max control-channel silence during a transfer before the client
+        #: declares the connection dead (``None`` = wait forever, the
+        #: pre-resilience behaviour).  A live transfer streams 111/112
+        #: markers every few seconds, so silence means a cut link or a
+        #: crashed server.
+        self.idle_timeout: Optional[float] = None
         # Per-simulator serial (not a module global): back-to-back
         # simulations in one process name their endpoints identically.
         self.service = f"gridftp-client-{sim.next_serial('gridftp-client')}"
@@ -111,13 +117,40 @@ class GridFTPClient:
         )
 
     # -- control-channel plumbing --------------------------------------------
-    def _rpc(self, server_host: str, command: Command):
+    def _rpc(self, server_host: str, command: Command,
+             idle_timeout: Optional[float] = None,
+             synthesize_marker: bool = False):
         """One command round-trip; returns (final reply, preliminary replies).
         Driven with ``yield from`` so each public operation stays a single
-        simulation process."""
-        outcome = yield from self.bus.invoke(
-            server_host, command.verb, command, raise_on_fault=False
-        )
+        simulation process.
+
+        When the control channel dies mid-command (idle timeout, host
+        crash) and ``synthesize_marker`` is set, the loss is surfaced as a
+        426 reply carrying a restart marker rebuilt from the 111 markers
+        streamed before the failure — what a real client recovers from its
+        own marker log when the server can no longer tell it anything.
+        """
+        try:
+            outcome = yield from self.bus.invoke(
+                server_host, command.verb, command,
+                idle_timeout=idle_timeout, raise_on_fault=False,
+            )
+        except (CallTimeout, ConnectionReset) as exc:
+            if not synthesize_marker:
+                raise TransferError(
+                    f"{command.verb} control channel lost: {exc}"
+                ) from exc
+            # markers are cumulative: the last 111 is the full progress
+            marker = RestartMarker(RangeSet())
+            for prelim in getattr(exc, "preliminaries", ()):
+                if isinstance(prelim, Reply) and prelim.code == 111:
+                    marker = prelim.payload
+            reply = Reply(
+                426,
+                f"transfer stalled: {exc}",
+                payload={"restart_marker": marker},
+            )
+            return reply, list(getattr(exc, "preliminaries", ()))
         reply = outcome.payload
         if not isinstance(reply, Reply):
             # a non-protocol fault (handler bug surfaced by the bus)
@@ -125,14 +158,18 @@ class GridFTPClient:
         return reply, outcome.preliminaries
 
     def _command(self, session: ClientSession, verb: str, argument: str = "",
-                 **extras):
+                 idle_timeout: Optional[float] = None,
+                 synthesize_marker: bool = False, **extras):
         command = Command(
             verb=verb,
             argument=argument,
             session=session.session_id,
             extras=extras,
         )
-        final, markers = yield from self._rpc(session.server_host, command)
+        final, markers = yield from self._rpc(
+            session.server_host, command,
+            idle_timeout=idle_timeout, synthesize_marker=synthesize_marker,
+        )
         return final, markers
 
     # -- session management -------------------------------------------------------
@@ -245,17 +282,25 @@ class GridFTPClient:
         def run():
             started = self.sim.now
             if restart is not None and len(restart):
+                # REST is loss-tolerant like the RETR it precedes: it is
+                # only ever issued while *recovering* a broken transfer, so
+                # the link may well still be down.  A lost REST surfaces as
+                # a synthesized 426 whose (empty) marker sends the mover
+                # through its stalled-restart backoff instead of aborting.
                 reply, _ = yield from self._command(
-                    session, "REST", restart.to_rest_argument()
+                    session, "REST", restart.to_rest_argument(),
+                    idle_timeout=self.idle_timeout, synthesize_marker=True,
                 )
                 if reply.code != 350:
-                    raise TransferError(f"REST rejected: {reply}", reply)
+                    raise TransferError(f"REST failed: {reply}", reply)
             verb, extras = "RETR", {"write_rate": self.fs.write_rate}
             if offset or length is not None:
                 verb = "ERET"
                 extras.update({"offset": offset, "length": length})
             reply, markers = yield from self._command(
-                session, verb, remote_path, **extras
+                session, verb, remote_path,
+                idle_timeout=self.idle_timeout, synthesize_marker=True,
+                **extras,
             )
             if reply.is_error:
                 raise TransferError(f"{verb} {remote_path} failed: {reply}", reply)

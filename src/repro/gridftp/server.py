@@ -196,6 +196,18 @@ class GridFTPServer:
         result = yield from call_next(request)
         return result
 
+    def drop_sessions(self) -> int:
+        """Crash semantics for fault injection: forget every control
+        session, as a restarted daemon would.  Clients holding a session
+        id see ``503 bad sequence`` on their next command and must
+        re-authenticate; in-flight transfer descriptors are gone, so
+        recovery rests entirely on client-side restart markers."""
+        count = len(self._sessions)
+        self._sessions.clear()
+        if count:
+            self.monitor.count("sessions_dropped", count)
+        return count
+
     # -- authentication ----------------------------------------------------------
     def _cmd_auth(self, request: ServiceRequest):
         """AUTH GSSAPI: allocate a session, ask for ADAT (round trip 1)."""

@@ -11,13 +11,17 @@ without entering the fluid congestion engine.  Bulk data must use
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Optional
 
 from repro.netsim.topology import Host, Topology
 from repro.simulation.kernel import Event, Simulator
 from repro.simulation.resources import Store
 
 __all__ = ["Envelope", "Mailbox", "MessageNetwork"]
+
+#: sentinel distinguishing "no black-hole fault" from "black-hole all
+#: operations" (stored prefix ``None``).
+_NO_FAULT = object()
 
 
 @dataclass(frozen=True)
@@ -72,6 +76,9 @@ class MessageNetwork:
         self.per_message_overhead = per_message_overhead
         self._mailboxes: dict[tuple[str, str], Mailbox] = {}
         self._down_hosts: set[str] = set()
+        self._down_links: set[str] = set()
+        self._blackholed: dict[tuple[str, str], Optional[str]] = {}
+        self._service_delays: dict[tuple[str, str], tuple[float, Optional[str]]] = {}
         self.dropped_messages = 0
 
     # -- failure injection ----------------------------------------------------
@@ -90,6 +97,72 @@ class MessageNetwork:
         """Whether the host is currently marked crashed."""
         name = host.name if isinstance(host, Host) else host
         return name in self._down_hosts
+
+    def set_link_down(self, link_name: str, down: bool = True) -> None:
+        """Partition a link: any control message whose route crosses it at
+        delivery time is silently lost (in-flight messages included, as on
+        a real fibre cut).  Data flows over the link are *not* cancelled
+        here — that is the fault injector's job via
+        :meth:`repro.netsim.engine.NetworkEngine.cancel_pool`."""
+        found = False
+        for link in self.topology.links:
+            if link.name == link_name:
+                link.up = not down
+                found = True
+        if not found:
+            raise KeyError(f"no link named {link_name!r}")
+        if down:
+            self._down_links.add(link_name)
+        else:
+            self._down_links.discard(link_name)
+
+    def is_link_down(self, link_name: str) -> bool:
+        """Whether the named link is currently partitioned."""
+        return link_name in self._down_links
+
+    def set_service_down(
+        self,
+        host: Host | str,
+        service: str,
+        down: bool = True,
+        prefix: Optional[str] = None,
+    ) -> None:
+        """Black-hole a (host, service) endpoint: inbound *requests* (not
+        replies) are dropped at delivery time.  With ``prefix``, only
+        requests whose operation name starts with it are dropped — e.g.
+        ``prefix="catalog."`` black-holes catalog RPCs while leaving the
+        host's other operations answerable."""
+        name = host.name if isinstance(host, Host) else host
+        self.lookup(name, service)  # validate
+        if down:
+            self._blackholed[(name, service)] = prefix
+        else:
+            self._blackholed.pop((name, service), None)
+
+    def set_service_delay(
+        self,
+        host: Host | str,
+        service: str,
+        extra: float = 0.0,
+        prefix: Optional[str] = None,
+    ) -> None:
+        """Add ``extra`` seconds of one-way latency to requests addressed
+        to a (host, service) endpoint (optionally only those whose
+        operation matches ``prefix``).  ``extra=0`` clears the fault."""
+        name = host.name if isinstance(host, Host) else host
+        self.lookup(name, service)  # validate
+        if extra > 0:
+            self._service_delays[(name, service)] = (extra, prefix)
+        else:
+            self._service_delays.pop((name, service), None)
+
+    @staticmethod
+    def _operation_matches(payload: Any, prefix: Optional[str]) -> bool:
+        """True when a message is a request whose operation matches
+        ``prefix`` (replies — no "operation" key — never match)."""
+        if not isinstance(payload, dict) or "operation" not in payload:
+            return False
+        return prefix is None or str(payload["operation"]).startswith(prefix)
 
     def register(self, host: Host | str, service: str) -> Mailbox:
         """Create the mailbox for a (host, service) endpoint."""
@@ -139,6 +212,10 @@ class MessageNetwork:
         dst_name = dst.name if isinstance(dst, Host) else dst
         mailbox = self.lookup(dst_name, service)
         delay = self.latency(src_name, dst_name, size)
+        if self._service_delays:
+            fault = self._service_delays.get((dst_name, service))
+            if fault is not None and self._operation_matches(payload, fault[1]):
+                delay += fault[0]
         sent_at = self.sim.now
         if context is None:
             context = self.sim.current_context
@@ -149,6 +226,20 @@ class MessageNetwork:
             if dst_name in self._down_hosts or src_name in self._down_hosts:
                 self.dropped_messages += 1
                 return  # lost: the sender's `delivered` event never fires
+            if self._down_links and src_name != dst_name:
+                if any(
+                    link.name in self._down_links
+                    for link in self.topology.route(src_name, dst_name)
+                ):
+                    self.dropped_messages += 1
+                    return  # lost on a partitioned link
+            if self._blackholed:
+                prefix = self._blackholed.get((dst_name, service), _NO_FAULT)
+                if prefix is not _NO_FAULT and self._operation_matches(
+                    payload, prefix
+                ):
+                    self.dropped_messages += 1
+                    return  # black-holed at the endpoint
             envelope = Envelope(
                 src=src_name,
                 dst=dst_name,

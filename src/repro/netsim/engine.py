@@ -394,6 +394,32 @@ class NetworkEngine:
     def active_flows(self) -> tuple[Flow, ...]:
         return tuple(self._flows)
 
+    def pools_on_link(self, link_name: str) -> list[SharedBytePool]:
+        """Distinct pools with an active flow routed across the named link
+        (in flow order) — what a fibre cut on that link would sever."""
+        pools: list[SharedBytePool] = []
+        seen: set[int] = set()
+        for f in self._flows:
+            if id(f.pool) in seen:
+                continue
+            if any(link.name == link_name for link in f.path):
+                seen.add(id(f.pool))
+                pools.append(f.pool)
+        return pools
+
+    def pools_touching_host(self, host_name: str) -> list[SharedBytePool]:
+        """Distinct pools with an active flow sourced at or sunk into the
+        named host (in flow order) — what a crash of that host severs."""
+        pools: list[SharedBytePool] = []
+        seen: set[int] = set()
+        for f in self._flows:
+            if id(f.pool) in seen:
+                continue
+            if f.src.name == host_name or f.dst.name == host_name:
+                seen.add(id(f.pool))
+                pools.append(f.pool)
+        return pools
+
     def cancel_pool(self, pool: SharedBytePool, reason: str = "") -> None:
         """Abort an in-flight transfer: its flows are torn down and the
         pool's ``done`` event fails with :class:`TransferAborted` carrying

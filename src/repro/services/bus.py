@@ -42,10 +42,12 @@ __all__ = [
     "ServiceFault",
     "RemoteCallError",
     "CallTimeout",
+    "ConnectionReset",
     "CallOutcome",
     "ServiceRequest",
     "ServiceEndpoint",
     "ServiceClient",
+    "ClientCall",
 ]
 
 #: Default control-message size in bytes (one small framed request).
@@ -56,7 +58,13 @@ _TIMED_OUT = object()
 
 class ServiceError(Exception):
     """A clean operation failure: mapped to a fault reply whose payload is
-    the error message (and re-raised at the caller as a remote error)."""
+    the error message (and re-raised at the caller as a remote error).
+
+    ``retryable`` marks transport-level failures (timeouts, resets) that a
+    retry policy may safely re-issue; application faults stay ``False``.
+    """
+
+    retryable = False
 
 
 class ServiceFault(Exception):
@@ -85,11 +93,41 @@ class RemoteCallError(ServiceError):
 class CallTimeout(ServiceError):
     """Default client-side mapping of a missing reply."""
 
+    retryable = True
+
     def __init__(self, operation: str, server: str, timeout: float):
         super().__init__(f"{operation}@{server}: no reply within {timeout}s")
         self.operation = operation
         self.server = server
         self.timeout = timeout
+
+
+class ConnectionReset(ServiceError):
+    """The server crashed (or was declared down) while this call was in
+    flight: the pending reply was synthesized away by
+    :meth:`ServiceClient.fail_pending`, or the call was refused up front
+    because the client is in fail-fast mode and the host is known down."""
+
+    retryable = True
+
+    def __init__(self, operation: str, server: str, message: str):
+        super().__init__(f"{operation}@{server}: {message}")
+        self.operation = operation
+        self.server = server
+        self.remote_message = message
+        #: preliminary replies received before the reset (e.g. GridFTP 111
+        #: restart markers) — what makes client-side resume possible.
+        self.preliminaries: list = []
+
+
+class _ResetBody:
+    """Sentinel payload of a synthetic reply injected by ``fail_pending``
+    (distinguishable from any real fault payload)."""
+
+    __slots__ = ("message",)
+
+    def __init__(self, message: str):
+        self.message = message
 
 
 @dataclass
@@ -108,6 +146,37 @@ Middleware = Callable[["ServiceRequest", Callable], Generator]
 
 #: A terminal handler: ``handler(request)`` returning a generator.
 Handler = Callable[["ServiceRequest"], Generator]
+
+
+@dataclass
+class ClientCall:
+    """One outbound call as seen by *client* middleware (retry policies,
+    circuit breakers).  The terminal stage issues the wire request via
+    :meth:`ServiceClient._invoke_once`; a middleware that re-invokes
+    ``call_next`` re-issues the call with a fresh request id."""
+
+    client: "ServiceClient"
+    server_host: str
+    operation: str
+    payload: Any = None
+    size: Optional[int] = None
+    timeout: Optional[float] = None
+    idle_timeout: Optional[float] = None
+    context: Optional[RequestContext] = None
+    meta: Optional[dict] = None
+    raise_on_fault: bool = True
+    #: middleware scratch space (attempt counts, breaker tokens, ...)
+    state: dict = field(default_factory=dict)
+
+    @property
+    def sim(self) -> Simulator:
+        return self.client.sim
+
+
+#: A client middleware: ``middleware(call, call_next)`` returning a
+#: generator; ``call_next(call)`` invokes the rest of the chain (and may
+#: be re-invoked to retry).
+ClientMiddleware = Callable[[ClientCall, Callable], Generator]
 
 
 class ServiceRequest:
@@ -316,6 +385,7 @@ class ServiceClient:
         default_timeout: Optional[float] = None,
         remote_error: Callable[[str, str, str], Exception] = RemoteCallError,
         timeout_error: Callable[[str, str, float], Exception] = CallTimeout,
+        middlewares: tuple = (),
     ):
         self.sim = sim
         self.msgnet = msgnet
@@ -327,6 +397,11 @@ class ServiceClient:
         self.default_timeout = default_timeout
         self.remote_error = remote_error
         self.timeout_error = timeout_error
+        #: refuse calls to hosts the msgnet knows are down instead of
+        #: waiting out a timeout.  Off by default: a plain client should
+        #: observe a crash exactly as a real one would — silence.
+        self.fail_fast_when_down = False
+        self._client_chain = self._build_client_chain(tuple(middlewares))
         if reply_service is None:
             # Per-simulator serial, not a module global: back-to-back
             # simulations in one process name their endpoints identically.
@@ -337,10 +412,54 @@ class ServiceClient:
         self._mailbox = msgnet.register(host, reply_service)
         self._request_ids = itertools.count(1)
         self._pending: dict[int, Store] = {}
+        self._pending_hosts: dict[int, str] = {}
         self._abandoned: set[int] = set()
         sim.spawn(
             self._dispatch(), name=f"{reply_service}-dispatch@{host.name}"
         )
+
+    # -- client middleware ------------------------------------------------
+    def use_middlewares(self, middlewares: tuple) -> None:
+        """Install a client middleware chain (outermost first), replacing
+        any existing one.  Middleware see every :meth:`invoke`."""
+        self._client_chain = self._build_client_chain(tuple(middlewares))
+
+    def _build_client_chain(self, middlewares: tuple):
+        def terminal(call: ClientCall):
+            outcome = yield from self._invoke_once(call)
+            return outcome
+
+        chain = terminal
+        for middleware in reversed(middlewares):
+            def stage(call, _mw=middleware, _next=chain):
+                return _mw(call, _next)
+            chain = stage
+        return chain
+
+    # -- failure injection ------------------------------------------------
+    def fail_pending(self, server_host: str, message: str = "connection reset") -> int:
+        """Synthesize a connection-reset reply for every call of this
+        client currently in flight to ``server_host`` (a crashed server
+        loses its in-flight request state; the caller's TCP connection
+        resets rather than hanging until an application timeout).  Returns
+        the number of calls reset."""
+        failed = 0
+        for request_id, host in list(self._pending_hosts.items()):
+            if host != server_host:
+                continue
+            store = self._pending.get(request_id)
+            if store is None:
+                continue
+            store.put({
+                "request_id": request_id,
+                "ok": False,
+                "final": True,
+                "payload": _ResetBody(message),
+            })
+            failed += 1
+        if failed:
+            self.monitor.count("connection_resets", failed)
+        return failed
 
     # -- reply routing ---------------------------------------------------
     def _dispatch(self):
@@ -369,6 +488,7 @@ class ServiceClient:
         *,
         size: Optional[int] = None,
         timeout: Optional[float] = None,
+        idle_timeout: Optional[float] = None,
         context: Optional[RequestContext] = None,
         meta: Optional[dict] = None,
         raise_on_fault: bool = True,
@@ -379,10 +499,44 @@ class ServiceClient:
         :meth:`call` for a spawned-process wrapper.  Returns a
         :class:`CallOutcome`; with ``raise_on_fault`` a fault reply whose
         payload is a string raises ``remote_error`` instead.
+
+        ``timeout`` bounds the whole call; ``idle_timeout`` bounds the gap
+        between replies, so a long transfer streaming periodic preliminary
+        markers stays alive while a stalled one is detected quickly.
         """
-        if timeout is None:
+        call = ClientCall(
+            client=self,
+            server_host=server_host,
+            operation=operation,
+            payload=payload,
+            size=size,
+            timeout=timeout,
+            idle_timeout=idle_timeout,
+            context=context,
+            meta=meta,
+            raise_on_fault=raise_on_fault,
+        )
+        outcome = yield from self._client_chain(call)
+        return outcome
+
+    def _invoke_once(self, call: ClientCall):
+        """One wire-level request/reply exchange (the terminal stage of
+        the client middleware chain)."""
+        server_host = call.server_host
+        operation = call.operation
+        timeout = call.timeout
+        if timeout is None and call.idle_timeout is None:
+            # an idle-bounded call (e.g. a long transfer streaming
+            # markers) must not be capped by the blanket default — its
+            # rolling idle deadline is the liveness check
             timeout = self.default_timeout
-        parent = context if context is not None else self.sim.current_context
+        if self.fail_fast_when_down and self.msgnet.is_host_down(server_host):
+            self.monitor.count("fast_failures")
+            raise ConnectionReset(operation, server_host, "host is down")
+        parent = (
+            call.context if call.context is not None
+            else self.sim.current_context
+        )
         span: Optional[Span] = None
         if self.tracelog is not None:
             span = self.tracelog.begin(
@@ -407,6 +561,7 @@ class ServiceClient:
         request_id = next(self._request_ids)
         store = Store(self.sim)
         self._pending[request_id] = store
+        self._pending_hosts[request_id] = server_host
         self.monitor.count("calls")
         self.msgnet.send(
             self.host,
@@ -415,15 +570,25 @@ class ServiceClient:
             payload={
                 "request_id": request_id,
                 "operation": operation,
-                "payload": payload,
+                "payload": call.payload,
                 "reply_service": self.reply_service,
                 "context": None if ctx is None else ctx.to_wire(),
-                "meta": meta or {},
+                "meta": call.meta or {},
             },
-            size=self.message_size if size is None else size,
+            size=self.message_size if call.size is None else call.size,
             context=ctx,
         )
-        deadline_at = None if timeout is None else self.sim.now + timeout
+        hard_deadline = None if timeout is None else self.sim.now + timeout
+        idle = call.idle_timeout
+
+        def next_deadline():
+            candidates = [d for d in (
+                hard_deadline,
+                None if idle is None else self.sim.now + idle,
+            ) if d is not None]
+            return min(candidates) if candidates else None
+
+        deadline_at = next_deadline()
         preliminaries: list = []
         while True:
             if deadline_at is None:
@@ -439,12 +604,34 @@ class ServiceClient:
                 self.monitor.count("call_timeouts")
                 if span is not None:
                     self.tracelog.finish(span, "timeout")
-                raise self.timeout_error(operation, server_host, timeout)
+                exc = self.timeout_error(
+                    operation, server_host,
+                    timeout if timeout is not None else idle,
+                )
+                exc.preliminaries = preliminaries
+                raise exc
             if not body.get("final", True):
                 preliminaries.append(body["payload"])
+                # an idle deadline is rolling: every reply renews it
+                deadline_at = next_deadline()
                 continue
             break
         self._pending.pop(request_id, None)
+        self._pending_hosts.pop(request_id, None)
+        if isinstance(body["payload"], _ResetBody):
+            # synthetic reply from fail_pending: the server crashed with
+            # this call in flight.  Remember the id so a late real reply
+            # (e.g. raced in just before the crash) is discarded.
+            self._abandoned.add(request_id)
+            if span is not None:
+                self.tracelog.finish(
+                    span, "error", detail=body["payload"].message
+                )
+            exc = ConnectionReset(
+                operation, server_host, body["payload"].message
+            )
+            exc.preliminaries = preliminaries
+            raise exc
         outcome = CallOutcome(
             ok=body["ok"],
             payload=body["payload"],
@@ -455,7 +642,7 @@ class ServiceClient:
             self.monitor.count("call_failures")
             if span is not None:
                 self.tracelog.finish(span, "error", detail=str(outcome.payload))
-            if raise_on_fault and isinstance(outcome.payload, str):
+            if call.raise_on_fault and isinstance(outcome.payload, str):
                 raise self.remote_error(operation, server_host, outcome.payload)
             return outcome
         if span is not None:
@@ -486,6 +673,7 @@ class ServiceClient:
         """Timeout cleanup: drop the pending entry and remember the id so
         the eventual late reply is discarded, never misdelivered."""
         store = self._pending.pop(request_id, None)
+        self._pending_hosts.pop(request_id, None)
         if store is not None:
             # a reply may have raced in at this very instant: drain it
             while len(store):

@@ -1,0 +1,262 @@
+"""Client-side resilience middleware: retries and circuit breaking.
+
+These are :data:`~repro.services.bus.ClientMiddleware` stages installed on
+a :class:`~repro.services.bus.ServiceClient` via ``use_middlewares``.  They
+act only on *transport-level* failures — exceptions whose ``retryable``
+class attribute is true (timeouts, connection resets) — and never re-issue
+a call that failed with an application fault, which may not be idempotent
+to repeat.
+
+Composition order matters: ``(RetryMiddleware, CircuitBreakerMiddleware)``
+puts the retry loop outermost, so every attempt consults the breaker and
+every failed attempt feeds its failure count.  An open breaker raises
+:class:`CircuitOpenError` (not retryable), which propagates to the caller
+immediately — replica failover, not patience, is the right response to a
+host that keeps failing.
+
+Determinism: retry jitter is drawn from a seeded
+:class:`~repro.simulation.randomness.RandomStreams` generator, so the same
+seed gives the same backoff schedule; everything else is pure sim-time
+arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.services.bus import ClientCall, ServiceError
+
+__all__ = [
+    "RetryPolicy",
+    "RetryMiddleware",
+    "CircuitOpenError",
+    "CircuitBreakerMiddleware",
+    "ResilienceConfig",
+]
+
+
+class CircuitOpenError(ServiceError):
+    """The breaker for this server is open: the call was refused locally,
+    without touching the network.  Deliberately *not* retryable — callers
+    should fail over to another replica rather than wait out the cooldown."""
+
+    retryable = False
+
+    def __init__(self, operation: str, server: str, remaining: float):
+        super().__init__(
+            f"{operation}@{server}: circuit open "
+            f"(retry after {remaining:.3f}s)"
+        )
+        self.operation = operation
+        self.server = server
+        self.remaining = remaining
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with seeded jitter and a cumulative budget.
+
+    Attempt ``n`` (1-based) failing retryably sleeps
+    ``min(base_delay * multiplier**(n-1), max_delay) * (1 + jitter*u)``
+    with ``u`` uniform in [0, 1) from the policy's random stream.  The
+    call gives up early when attempts, the sleep budget, or the caller's
+    shrink-only deadline would be exceeded.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.5
+    multiplier: float = 2.0
+    max_delay: float = 30.0
+    jitter: float = 0.25
+    budget: float = 120.0
+
+    def delay(self, attempt: int, rng=None) -> float:
+        raw = min(
+            self.base_delay * self.multiplier ** (attempt - 1),
+            self.max_delay,
+        )
+        if rng is not None and self.jitter:
+            raw *= 1.0 + self.jitter * float(rng.random())
+        return raw
+
+
+class RetryMiddleware:
+    """Re-issue transport-failed calls per a :class:`RetryPolicy`.
+
+    Counts ``rpc.retries{service,operation}`` in the registry for every
+    re-issued attempt.  A retry is abandoned (the original error
+    re-raised) when the policy's attempt or budget cap is hit, or when
+    backing off would cross the caller's propagated deadline — deadlines
+    only ever shrink, so sleeping past one can never help.
+    """
+
+    def __init__(self, policy: RetryPolicy | None = None, rng=None,
+                 metrics=None):
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.rng = rng
+        self.metrics = metrics
+
+    def __call__(self, call: ClientCall, call_next):
+        sim = call.sim
+        policy = self.policy
+        attempt = 0
+        slept = 0.0
+        while True:
+            attempt += 1
+            try:
+                outcome = yield from call_next(call)
+                return outcome
+            except ServiceError as exc:
+                if not getattr(exc, "retryable", False):
+                    raise
+                if attempt >= policy.max_attempts:
+                    raise
+                delay = policy.delay(attempt, self.rng)
+                if slept + delay > policy.budget:
+                    raise
+                ctx = (
+                    call.context if call.context is not None
+                    else sim.current_context
+                )
+                if (
+                    ctx is not None
+                    and ctx.deadline is not None
+                    and sim.now + delay >= ctx.deadline
+                ):
+                    raise
+                if self.metrics is not None:
+                    self.metrics.counter(
+                        "rpc.retries",
+                        service=call.client.service,
+                        operation=call.operation,
+                    ).inc()
+                slept += delay
+                yield sim.timeout(delay)
+
+
+#: Gauge encoding of breaker states.
+_STATE_VALUE = {"closed": 0.0, "half-open": 1.0, "open": 2.0}
+
+
+@dataclass
+class _BreakerState:
+    state: str = "closed"
+    failures: int = 0
+    opened_at: float = 0.0
+    probing: bool = False
+    stats: dict = field(default_factory=lambda: {
+        "opened": 0, "closed": 0, "refused": 0,
+    })
+
+
+class CircuitBreakerMiddleware:
+    """Per-server-host circuit breaker: closed → open → half-open.
+
+    ``failure_threshold`` consecutive retryable failures open the circuit;
+    while open, calls are refused locally with :class:`CircuitOpenError`
+    until ``cooldown`` has elapsed, after which a single probe call is let
+    through (half-open).  A successful probe closes the circuit; a failed
+    one re-opens it for another cooldown.  Application faults (not
+    retryable) neither trip nor reset the breaker's failure count — a
+    server answering "no such file" is healthy.
+
+    Exposes ``breaker.state{service,server}`` as a gauge (0 closed,
+    1 half-open, 2 open) and counts opens/refusals.
+    """
+
+    def __init__(self, failure_threshold: int = 5, cooldown: float = 30.0,
+                 metrics=None, service: str = ""):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self.metrics = metrics
+        self.service = service
+        self._servers: dict[str, _BreakerState] = {}
+
+    def state_of(self, server_host: str) -> str:
+        """Current breaker state for a server ("closed" when unseen)."""
+        st = self._servers.get(server_host)
+        return st.state if st is not None else "closed"
+
+    def _transition(self, st: _BreakerState, server: str, to: str,
+                    now: float) -> None:
+        st.state = to
+        if to == "open":
+            st.opened_at = now
+            st.stats["opened"] += 1
+        elif to == "closed":
+            st.failures = 0
+            st.stats["closed"] += 1
+        if self.metrics is not None:
+            self.metrics.gauge(
+                "breaker.state", service=self.service, server=server,
+            ).set(_STATE_VALUE[to])
+            self.metrics.counter(
+                "breaker.transitions",
+                service=self.service, server=server, to=to,
+            ).inc()
+
+    def __call__(self, call: ClientCall, call_next):
+        sim = call.sim
+        server = call.server_host
+        st = self._servers.get(server)
+        if st is None:
+            st = self._servers[server] = _BreakerState()
+        if st.state == "open":
+            elapsed = sim.now - st.opened_at
+            if elapsed < self.cooldown:
+                st.stats["refused"] += 1
+                if self.metrics is not None:
+                    self.metrics.counter(
+                        "breaker.refusals",
+                        service=self.service, server=server,
+                    ).inc()
+                raise CircuitOpenError(
+                    call.operation, server, self.cooldown - elapsed
+                )
+            self._transition(st, server, "half-open", sim.now)
+        if st.state == "half-open" and st.probing:
+            # one probe at a time: concurrent calls are refused until the
+            # in-flight probe settles the circuit one way or the other
+            st.stats["refused"] += 1
+            raise CircuitOpenError(call.operation, server, 0.0)
+        probing = st.state == "half-open"
+        if probing:
+            st.probing = True
+        try:
+            outcome = yield from call_next(call)
+        except ServiceError as exc:
+            if probing:
+                st.probing = False
+            if getattr(exc, "retryable", False):
+                st.failures += 1
+                if (
+                    st.state == "half-open"
+                    or st.failures >= self.failure_threshold
+                ):
+                    self._transition(st, server, "open", sim.now)
+            raise
+        if probing:
+            st.probing = False
+        st.failures = 0
+        if st.state != "closed":
+            self._transition(st, server, "closed", sim.now)
+        return outcome
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Knobs for :meth:`repro.gdmp.grid.DataGrid.enable_resilience`."""
+
+    retry: RetryPolicy = RetryPolicy()
+    failure_threshold: int = 5
+    cooldown: float = 30.0
+    #: whole-call timeout applied to request-manager/catalog RPCs that do
+    #: not carry their own.  Generous enough for a healthy MSS staging
+    #: (tape mount + seek is ~45 s) to finish inside one attempt.
+    rpc_timeout: float = 120.0
+    #: max silence on the GridFTP control channel; a healthy transfer
+    #: streams 111 restart markers every 5 s, so 15 s of silence means the
+    #: link or server is gone.
+    idle_timeout: float = 15.0

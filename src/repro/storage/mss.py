@@ -55,6 +55,23 @@ class MassStorageSystem:
         self.monitor = Monitor()
         #: optional MetricsRegistry: per-site staging latency histograms
         self.metrics = metrics
+        #: fault injection (see :mod:`repro.faults`): stagings holding a
+        #: drive before this sim-time stall until it passes (a robot arm
+        #: wedged, an operator fixing a library)...
+        self.fault_stall_until = 0.0
+        #: ...and this many upcoming stagings fail outright with
+        #: :class:`TapeError` (bad media, drive errors).
+        self.fault_error_next = 0
+
+    # -- fault injection -------------------------------------------------------
+    def inject_stall(self, until: float) -> None:
+        """Stall staging: drives acquired before ``until`` (sim-time) hold
+        position until the stall clears, then proceed normally."""
+        self.fault_stall_until = max(self.fault_stall_until, until)
+
+    def inject_errors(self, count: int = 1) -> None:
+        """Fail the next ``count`` stagings with :class:`TapeError`."""
+        self.fault_error_next += int(count)
 
     # -- archive contents ----------------------------------------------------
     def contains(self, path: str) -> bool:
@@ -106,6 +123,17 @@ class MassStorageSystem:
             yield request
             self.monitor.timeseries("drive_wait").sample(sim.now, sim.now - queued_at)
             try:
+                if self.fault_error_next > 0:
+                    self.fault_error_next -= 1
+                    self.monitor.count("stage_faults")
+                    raise TapeError(
+                        f"{self.site} MSS: injected drive error staging "
+                        f"{record.path!r}"
+                    )
+                extra = self.fault_stall_until - sim.now
+                if extra > 0:
+                    self.monitor.count("stage_stalls")
+                    yield sim.timeout(extra)
                 yield sim.timeout(self.stage_time(record.size))
                 if pool.fs.exists(record.path):
                     stored = pool.fs.stat(record.path)

@@ -1,0 +1,90 @@
+"""Campaign construction: seeded, sorted, and reproducible schedules."""
+
+import pytest
+
+from repro.faults import (
+    FaultCampaign,
+    FaultEvent,
+    catalog_blackhole_campaign,
+    crash_restart_campaign,
+    link_flap_campaign,
+    mss_stall_campaign,
+)
+from repro.simulation.randomness import RandomStreams
+
+
+def _builders(seed):
+    streams = RandomStreams(seed)
+    return [
+        link_flap_campaign(streams, ["wan-a-b", "wan-b-c"]),
+        crash_restart_campaign(streams, ["a", "b"]),
+        mss_stall_campaign(streams, "a"),
+        catalog_blackhole_campaign(streams, "a"),
+    ]
+
+
+def test_same_seed_gives_byte_identical_schedules():
+    first = [c.schedule_repr() for c in _builders(2001)]
+    second = [c.schedule_repr() for c in _builders(2001)]
+    assert first == second
+
+
+def test_different_seeds_give_different_schedules():
+    first = [c.schedule_repr() for c in _builders(2001)]
+    second = [c.schedule_repr() for c in _builders(2002)]
+    assert first != second
+
+
+def test_events_are_time_sorted_and_windows_paired():
+    for campaign in _builders(2001):
+        times = [ev.time for ev in campaign.events]
+        assert times == sorted(times)
+        # every down has a matching later up on the same target
+        opens = {"link_down": "link_up", "host_crash": "host_restart",
+                 "catalog_blackhole": "catalog_restore",
+                 "catalog_delay": "catalog_delay_clear"}
+        balance: dict[tuple[str, str], int] = {}
+        for ev in campaign.events:
+            if ev.kind in opens:
+                balance[(opens[ev.kind], ev.target)] = (
+                    balance.get((opens[ev.kind], ev.target), 0) + 1
+                )
+            elif ev.kind in opens.values():
+                balance[(ev.kind, ev.target)] = (
+                    balance.get((ev.kind, ev.target), 0) - 1
+                )
+        assert all(v == 0 for v in balance.values())
+
+
+def test_campaign_sorts_unordered_events():
+    campaign = FaultCampaign("x", (
+        FaultEvent(5.0, "link_down", "l"),
+        FaultEvent(1.0, "link_up", "l"),
+    ))
+    assert [ev.time for ev in campaign.events] == [1.0, 5.0]
+    assert campaign.horizon == 5.0
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        FaultEvent(1.0, "meteor_strike", "earth")
+
+
+def test_negative_time_rejected():
+    with pytest.raises(ValueError, match="negative"):
+        FaultEvent(-1.0, "link_down", "l")
+
+
+def test_empty_target_lists_rejected():
+    streams = RandomStreams(1)
+    with pytest.raises(ValueError):
+        link_flap_campaign(streams, [])
+    with pytest.raises(ValueError):
+        crash_restart_campaign(streams, [])
+
+
+def test_schedule_repr_carries_every_event():
+    campaign = _builders(2001)[0]
+    lines = campaign.schedule_repr().splitlines()
+    assert len(lines) == 1 + len(campaign.events)
+    assert lines[0].startswith("campaign link-flap")

@@ -33,6 +33,38 @@ def test_invalid_range_rejected():
         RangeSet([(10, 5)])
 
 
+def test_zero_length_add_at_gap_boundary_does_not_merge():
+    # a degenerate marker landing exactly between two ranges must not
+    # weld them together: no byte at 100 was ever delivered
+    rs = RangeSet([(0, 100), (100, 100), (150, 200)])
+    assert list(rs) == [(0, 100), (150, 200)]
+    rs.add(100, 100)
+    assert list(rs) == [(0, 100), (150, 200)]
+    assert not rs.contains(100)
+
+
+def test_covers_across_merged_boundary():
+    # two abutting adds coalesce into one range, so a span straddling
+    # the old seam is fully covered
+    rs = RangeSet()
+    rs.add(0, 5)
+    rs.add(5, 10)
+    assert list(rs) == [(0, 10)]
+    assert rs.covers(3, 8)
+    assert rs.covers(0, 10)
+    assert not rs.covers(3, 11)
+
+
+def test_triple_coalescing_through_middle_add():
+    # filling the gap between two ranges collapses all three into one
+    rs = RangeSet([(0, 2), (4, 6)])
+    rs.add(2, 4)
+    assert list(rs) == [(0, 6)]
+    assert rs.total == 6
+    assert rs.covers(1, 5)
+    assert len(rs.complement(6)) == 0
+
+
 def test_contains_and_covers():
     rs = RangeSet([(0, 100)])
     assert rs.contains(0)

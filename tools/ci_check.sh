@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # CI gate: tier-1 tests, the determinism record, an engine microbench
-# smoke run, the telemetry exporter smoke gate, and (when available) ruff.
+# smoke run, the telemetry exporter smoke gate, the chaos fault-injection
+# gate, and (when available) ruff.
 #
 #   tools/ci_check.sh
 #
@@ -33,6 +34,9 @@ python -m pytest -x -q tests/catalog/test_search_differential.py
 echo "== catalog scale (smoke) + regression gate =="
 python benchmarks/bench_catalog_scale.py --smoke > /dev/null
 python tools/perf_report.py --catalog --smoke --output - > /dev/null
+
+echo "== chaos: fault-injection convergence + determinism (smoke) =="
+python tools/chaos_smoke.py
 
 if command -v ruff > /dev/null 2>&1; then
     echo "== ruff =="
