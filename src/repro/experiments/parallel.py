@@ -19,6 +19,15 @@ without changing any result.
 
 Workers must be module-level callables (picklable) taking one argument —
 the sweep point.
+
+:func:`run_weighted` is the load-balanced variant for *heterogeneous*
+points — e.g. the independent link islands a
+:class:`~repro.netsim.flowtable.FlowTable` partitions a large topology
+into, whose per-tick cost is proportional to their flow count.  Points
+are packed into per-worker buckets with a deterministic LPT (longest
+processing time first) heuristic, so the assignment — and therefore every
+worker's exact workload — is a pure function of the weights, independent
+of scheduling.
 """
 
 from __future__ import annotations
@@ -26,7 +35,7 @@ from __future__ import annotations
 import os
 from typing import Callable, Iterable, Optional, Sequence, TypeVar
 
-__all__ = ["default_processes", "run_sweep"]
+__all__ = ["default_processes", "run_sweep", "run_weighted"]
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -97,3 +106,84 @@ def run_sweep(
     except (OSError, PermissionError, ImportError):
         # sandboxed / fork-less environments: degrade silently to serial
         return _run_serial(worker, points)
+
+
+def _run_bucket(task: tuple) -> list:
+    """Evaluate one worker bucket: ``(worker, [point, ...]) -> [result...]``.
+
+    Module-level so the tuple pickles under every start method.
+    """
+    worker, bucket = task
+    return [worker(point) for point in bucket]
+
+
+def plan_buckets(
+    weights: Sequence[float], buckets: int
+) -> list[list[int]]:
+    """Deterministic LPT packing of point indices into ``buckets`` groups.
+
+    Points are considered heaviest-first (ties broken by input index) and
+    each goes to the currently lightest bucket (ties broken by bucket
+    index).  The result depends only on ``weights`` and ``buckets`` —
+    never on timing — so parallel runs are reproducible.
+    """
+    order = sorted(range(len(weights)), key=lambda i: (-weights[i], i))
+    loads = [(0.0, b) for b in range(buckets)]
+    assignment: list[list[int]] = [[] for _ in range(buckets)]
+    import heapq
+
+    heapq.heapify(loads)
+    for i in order:
+        load, b = heapq.heappop(loads)
+        assignment[b].append(i)
+        heapq.heappush(loads, (load + weights[i], b))
+    return [bucket for bucket in assignment if bucket]
+
+
+def run_weighted(
+    worker: Callable[[T], R],
+    points: Iterable[T],
+    weights: Sequence[float],
+    processes: Optional[int] = None,
+) -> list[R]:
+    """Apply ``worker`` to heterogeneous points; results in input order.
+
+    Like :func:`run_sweep`, but points carry ``weights`` (expected cost,
+    e.g. ``LinkIsland.weight``) and are packed into one bucket per worker
+    with :func:`plan_buckets` instead of round-robin chunking, so a few
+    heavy islands do not serialize behind a tail of light ones.
+    """
+    points = list(points)
+    if len(weights) != len(points):
+        raise ValueError(
+            f"{len(points)} points but {len(weights)} weights"
+        )
+    if processes is None:
+        processes = default_processes()
+    if points:
+        processes = min(processes, len(points))
+    if processes <= 1 or len(points) < 2 or os.environ.get(SERIAL_ENV):
+        return _run_serial(worker, points)
+    buckets = plan_buckets(weights, processes)
+    tasks = [(worker, [points[i] for i in bucket]) for bucket in buckets]
+    try:
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+
+        if "fork" in multiprocessing.get_all_start_methods():
+            context = multiprocessing.get_context("fork")
+        else:
+            context = multiprocessing.get_context()
+        with ProcessPoolExecutor(
+            max_workers=len(tasks), mp_context=context
+        ) as executor:
+            per_bucket = list(executor.map(_run_bucket, tasks))
+    except (OSError, PermissionError, ImportError):
+        # sandboxed / fork-less environments: degrade silently to serial
+        return _run_serial(worker, points)
+    # scatter bucket results back to input order
+    results: list = [None] * len(points)
+    for bucket, bucket_results in zip(buckets, per_bucket):
+        for i, result in zip(bucket, bucket_results):
+            results[i] = result
+    return results

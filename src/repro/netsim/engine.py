@@ -21,22 +21,33 @@ transfer finishes when the pool drains, without straggler artifacts.
 Hot-path architecture
 ---------------------
 
-The tick loop is the innermost loop of every experiment, so its data
-structures are cached rather than rebuilt per tick:
+Per-flow state lives in a :class:`~repro.netsim.flowtable.FlowTable` — a
+struct-of-arrays layout rebuilt only when the flow set changes
+(``open_flow`` / retirement / ``cancel_pool``).  Two tick kernels run over
+the same table:
 
-* a slot-indexed link table and a link -> flows incidence map, rebuilt only
-  when the flow set changes (``open_flow`` / retirement / ``cancel_pool``);
-* per-flow precomputed path slot indices, lossy-link subsets, and NIC host
-  slots;
-* whole passes are skipped when provably inert: queueing-delay sums when
-  all queues are empty, NIC scaling when every host NIC is unbounded,
-  loss marking when nothing was dropped and no path link has a nonzero
-  ``loss_rate``.
+* the **vector** kernel executes every per-flow pass — window evolution,
+  capacity sharing, batched loss draws, pool settlement — as whole-array
+  operations;
+* the **scalar** kernel runs the same passes as tight list-indexed loops
+  (the numpy-free fallback, and the reference in differential tests).
 
-All skips are *exact*: they elide work only when the skipped pass would
-compute the identity (multiply by 1.0, add 0.0, draw no random numbers), so
-simulation outputs are bit-identical to the straightforward per-tick
-implementation.
+The default is **auto**: each table picks vector at
+:data:`~repro.netsim.flowtable.VECTOR_MIN_FLOWS` flows and above, scalar
+below (where ufunc dispatch overhead would dominate).
+
+Both kernels are bit-identical: array accumulation orders (``bincount`` /
+``ufunc.at``), RNG batch draws, and guard-banded ``pow`` reproduce exactly
+the float sequences of the straightforward per-object implementation.
+``Flow`` and ``SharedBytePool`` objects remain the public API as thin
+views over their table rows.  Select a kernel with
+``NetworkEngine(kernel=...)`` or ``REPRO_NETSIM_KERNEL``.
+
+Whole passes are skipped when provably inert: queueing-delay sums when all
+queues are empty, NIC scaling when every host NIC is unbounded, loss
+marking when nothing was dropped and no path link has a nonzero
+``loss_rate``.  All skips are *exact*: they elide work only when the
+skipped pass would compute the identity.
 
 When the dynamics are provably linear — no lossy link on any active path,
 all queues empty and no link congested, every window buffer-clamped and no
@@ -44,18 +55,18 @@ loss marks pending — the engine enters *stretched ticking*: it precomputes
 the next ``m`` tick boundaries, sleeps once across all of them, and settles
 deliveries and RTT-boundary window updates lazily (on wake, or on demand
 when a pool is observed or the flow set changes mid-stretch).  See
-DESIGN.md ("Adaptive tick stretching") for the invariants.
+DESIGN.md ("Adaptive tick stretching" and "Flow tables and link islands").
 
 Monitoring is kept out of the hot loop: per-tick link queue sampling is
-opt-in via ``link_monitor_interval`` (``None`` disables it, ``0.0`` restores
-the legacy one-sample-per-tick behaviour, a positive value decimates to at
-most one sample per link per interval).
+opt-in via ``link_monitor_interval``, and per-flow byte counters are
+derived on read (``Flow.monitor``) instead of being updated per tick.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
+from repro.netsim.flowtable import FlowTable, LinkIsland, resolve_kernel
 from repro.netsim.link import Link
 from repro.netsim.tcp import TcpParams, TcpState
 from repro.netsim.topology import Host, Topology
@@ -63,13 +74,26 @@ from repro.simulation.kernel import Event, Interrupt, Simulator
 from repro.simulation.monitor import Monitor
 from repro.simulation.randomness import RandomStreams
 
-__all__ = ["SharedBytePool", "Flow", "NetworkEngine", "TransferAborted"]
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - scalar kernel only
+    np = None
+
+__all__ = ["SharedBytePool", "Flow", "NetworkEngine", "TransferAborted",
+           "LinkIsland"]
 
 #: Histogram bounds for transfer goodput in bytes/s: decades (with a 3x
 #: midpoint) from 100 KB/s to 10 GB/s, the plausible range for grid links.
 _THROUGHPUT_BOUNDS = (
     1e5, 3e5, 1e6, 3e6, 1e7, 3e7, 1e8, 3e8, 1e9, 3e9, 1e10,
 )
+
+#: Band around a loss draw inside which the vectorized ``np.power`` (which
+#: may differ from python ``**`` by an ulp) cannot be trusted to decide the
+#: comparison; such draws are re-decided with the exact scalar pow.  The
+#: band is ~4 orders of magnitude wider than the worst observed deviation,
+#: and draws land inside it almost never, so the recheck costs nothing.
+_POW_BAND = 1e-12
 
 
 class TransferAborted(Exception):
@@ -86,7 +110,12 @@ class TransferAborted(Exception):
 
 
 class SharedBytePool:
-    """The byte supply of one logical transfer, shared by its streams."""
+    """The byte supply of one logical transfer, shared by its streams.
+
+    While its flows are active the pool is a *view* over a row of the
+    engine's :class:`FlowTable`; ``remaining``/``delivered`` read through
+    to the row, and the row is flushed back when the transfer retires.
+    """
 
     def __init__(self, sim: Simulator, size: float):
         if size <= 0:
@@ -103,6 +132,9 @@ class SharedBytePool:
         # Set by the engine that serves this pool; used to settle lazily
         # evaluated stretched ticks before the pool is observed.
         self._engine: Optional["NetworkEngine"] = None
+        # flow-table view state (attached by FlowTable)
+        self._table: Optional[FlowTable] = None
+        self._row = -1
 
     def _settle(self) -> None:
         engine = self._engine
@@ -113,12 +145,19 @@ class SharedBytePool:
     def remaining(self) -> float:
         """Bytes not yet delivered (settles any in-flight stretched ticks)."""
         self._settle()
+        t = self._table
+        if t is not None:
+            return float(t.pool_remaining[self._row])
         return self._remaining
 
     @remaining.setter
     def remaining(self, value: float) -> None:
         self._settle()
-        self._remaining = value
+        t = self._table
+        if t is not None:
+            t.pool_remaining[self._row] = value
+        else:
+            self._remaining = value
         # Forcing the supply (e.g. iperf tearing down its probe flows) must
         # drop the engine out of any stretched window, whose plan assumed
         # the old supply; it will notice the change on its next full tick.
@@ -130,14 +169,43 @@ class SharedBytePool:
     def delivered(self) -> float:
         """Bytes delivered so far (settles any in-flight stretched ticks)."""
         self._settle()
+        t = self._table
+        if t is not None:
+            return float(t.pool_delivered[self._row])
         return self._delivered
 
     def draw(self, amount: float) -> float:
-        """Take up to ``amount`` bytes from the remaining supply."""
-        take = min(amount, self._remaining)
+        """Take up to ``amount`` bytes from the remaining supply.
+
+        Never returns a negative take: if float drift (or an external
+        ``remaining`` override) left the residual below zero, the draw is
+        clamped to 0.0 instead of un-delivering bytes.
+        """
+        t = self._table
+        if t is not None:
+            row = self._row
+            remaining = float(t.pool_remaining[row])
+            take = amount if amount <= remaining else remaining
+            if take < 0.0:
+                take = 0.0
+            t.pool_remaining[row] = remaining - take
+            t.pool_delivered[row] = float(t.pool_delivered[row]) + take
+            return take
+        take = amount if amount <= self._remaining else self._remaining
+        if take < 0.0:
+            take = 0.0
         self._remaining -= take
         self._delivered += take
         return take
+
+    def conservation_error(self) -> float:
+        """|size - delivered - remaining| — float drift of the byte ledger.
+
+        Exactly 0.0 under pure engine settlement (every delivery moves
+        bytes from ``remaining`` to ``delivered`` in one float op); tiny
+        but nonzero only if external code force-adjusted ``remaining``.
+        """
+        return abs(self.size - self.delivered - self.remaining)
 
     @property
     def exhausted(self) -> bool:
@@ -159,7 +227,13 @@ class SharedBytePool:
 
 
 class Flow:
-    """One TCP stream moving bytes from ``src`` to ``dst``."""
+    """One TCP stream moving bytes from ``src`` to ``dst``.
+
+    While active, per-tick state (delivered bytes, RTT, loss marks, TCP
+    window) lives in the engine's :class:`FlowTable`; the object is a thin
+    view whose properties read through to its row.  On retirement the row
+    is flushed back and the object stands alone again.
+    """
 
     _counter = 0
 
@@ -185,49 +259,107 @@ class Flow:
         self.dst = dst
         self.path = path
         self.pool = pool
-        self.tcp = tcp
         self.rate_cap = rate_cap
         #: request-trace context (stamped by the engine at open_flow time)
         self.context = None
         self.base_rtt = 2.0 * sum(link.delay for link in path)
-        self.delivered = 0.0
-        self.loss_pending = False
-        self.timeout_pending = False
         self.next_round_at = 0.0
-        self.monitor = Monitor()
-        # the monitor's counter dict, bound once for the delivery hot loop
-        self._mon_counters = self.monitor.counters
-        # scratch fields written by the engine each tick
+        self._tcp = tcp
+        self._monitor = Monitor()
+        self._delivered = 0.0
+        self._loss_pending = False
+        self._timeout_pending = False
         self._rtt = self.base_rtt
-        self._offered = 0.0
-        self._achieved = 0.0
-        self._window_used = 0.0
-        # cached by NetworkEngine._rebuild_cache
-        self._path_slots: list[int] = []
-        self._lossy_links: tuple[Link, ...] = ()
-        self._lossy_survive: tuple[float, ...] = ()
-        self._src_slot = 0
-        self._dst_slot = 0
+        # flow-table view state (attached by FlowTable)
+        self._table: Optional[FlowTable] = None
+        self._row = -1
+
+    def _settle(self) -> None:
+        engine = self.pool._engine
+        if engine is not None and engine._stretch is not None:
+            engine._settle_stretch(engine.sim.now)
+
+    @property
+    def tcp(self) -> TcpState:
+        """Congestion-control state (synced from the flow table on read)."""
+        t = self._table
+        if t is not None:
+            self._settle()
+            t.sync_tcp(self._row, self._tcp)
+        return self._tcp
+
+    @property
+    def delivered(self) -> float:
+        """Bytes this stream has delivered so far."""
+        t = self._table
+        if t is None:
+            return self._delivered
+        self._settle()
+        return float(t.delivered[self._row])
+
+    @property
+    def loss_pending(self) -> bool:
+        t = self._table
+        if t is not None:
+            return bool(t.loss_pending[self._row])
+        return self._loss_pending
+
+    @loss_pending.setter
+    def loss_pending(self, value: bool) -> None:
+        t = self._table
+        if t is not None:
+            t.loss_pending[self._row] = value
+        else:
+            self._loss_pending = value
+
+    @property
+    def timeout_pending(self) -> bool:
+        t = self._table
+        if t is not None:
+            return bool(t.timeout_pending[self._row])
+        return self._timeout_pending
+
+    @timeout_pending.setter
+    def timeout_pending(self, value: bool) -> None:
+        t = self._table
+        if t is not None:
+            t.timeout_pending[self._row] = value
+        else:
+            self._timeout_pending = value
+
+    @property
+    def monitor(self) -> Monitor:
+        """Per-flow monitor; its ``bytes`` counter is derived from the
+        delivered total on read rather than updated every tick."""
+        delivered = self.delivered
+        if delivered:
+            self._monitor.counters["bytes"] = delivered
+        return self._monitor
 
     @property
     def rtt(self) -> float:
         """Most recent effective RTT (propagation + queueing)."""
+        t = self._table
+        if t is not None:
+            return float(t.rtt[self._row])
         return self._rtt
 
 
 class _Stretch:
     """State of one stretched-tick window (see DESIGN.md)."""
 
-    __slots__ = ("bounds", "dt", "flows", "rates", "settled")
+    __slots__ = ("bounds", "dt", "table", "amounts", "settled")
 
     def __init__(self, bounds: list[float], dt: float,
-                 flows: list[Flow], rates: list[float]):
+                 table: FlowTable, amounts):
         #: tick boundaries: ``bounds[j]`` is the start of stretched tick j,
         #: ``bounds[-1]`` is the end of the window (next full-tick time).
         self.bounds = bounds
         self.dt = dt
-        self.flows = flows
-        self.rates = rates
+        self.table = table
+        #: per-flow delivery per stretched tick (rate * dt, constant across
+        #: the window — precomputed once, bit-identical every tick)
+        self.amounts = amounts
         #: number of stretched ticks already settled
         self.settled = 0
 
@@ -253,12 +385,17 @@ class NetworkEngine:
         adaptive_ticks: bool = True,
         link_monitor_interval: Optional[float] = None,
         metrics=None,
+        kernel: Optional[str] = None,
     ):
         self.sim = sim
         self.topology = topology
         self.random = RandomStreams(seed)
         self.adaptive_ticks = adaptive_ticks
         self.link_monitor_interval = link_monitor_interval
+        #: tick kernel: "vector" (numpy arrays), "scalar" (python lists),
+        #: or "auto" (per-table size cutover at VECTOR_MIN_FLOWS);
+        #: ``None`` feature-detects, ``REPRO_NETSIM_KERNEL`` overrides.
+        self.kernel = resolve_kernel(kernel)
         #: optional :class:`~repro.telemetry.metrics.MetricsRegistry`.
         #: Instrumentation is event-driven (flow open/retire, drops, the
         #: opt-in link sampling grid) — never per-tick — and purely
@@ -280,18 +417,14 @@ class NetworkEngine:
         #: full ticks executed / fine ticks settled analytically
         self.tick_count = 0
         self.settled_tick_count = 0
+        #: flow-tick work units: active flows advanced per executed or
+        #: settled tick (the denominator of per-flow tick rates)
+        self.flow_tick_count = 0
         self._flow_seq = 0
         self._loss_rng = None
-        # incidence caches, rebuilt lazily when the flow set changes
+        # the flow table, rebuilt lazily when the flow set changes
         self._cache_dirty = True
-        self._links: list[Link] = []
-        self._link_flows: list[list[Flow]] = []
-        self._has_lossy = False
-        self._nic_bounded = False
-        self._src_nics: list[float] = []
-        self._dst_nics: list[float] = []
-        self._n_src_slots = 0
-        self._n_dst_slots = 0
+        self._table: Optional[FlowTable] = None
         # stretched-tick state
         self._stretch: Optional[_Stretch] = None
         self._realign_at = 0.0
@@ -394,6 +527,17 @@ class NetworkEngine:
     def active_flows(self) -> tuple[Flow, ...]:
         return tuple(self._flows)
 
+    def islands(self) -> tuple[LinkIsland, ...]:
+        """Independent link islands of the current flow set.
+
+        Connected components of the flow/link/NIC/pool incidence graph:
+        flows in different islands share no coupling, so their dynamics
+        are fully independent and can be simulated on disjoint workers
+        (see ``repro.experiments.parallel.run_weighted``)."""
+        if self._cache_dirty or self._table is None:
+            self._rebuild_cache()
+        return self._table.islands()
+
     def pools_on_link(self, link_name: str) -> list[SharedBytePool]:
         """Distinct pools with an active flow routed across the named link
         (in flow order) — what a fibre cut on that link would sever."""
@@ -430,6 +574,13 @@ class NetworkEngine:
             raise ValueError("transfer already aborted")
         self._abort_stretch()
         cancelled = [f for f in self._flows if f.pool is pool]
+        t = self._table
+        if t is not None:
+            for f in cancelled:
+                if f._table is t:
+                    t.flush_flow(f)
+            if pool._table is t:
+                t.flush_pool(pool)
         self._flows = [f for f in self._flows if f.pool is not pool]
         self._cache_dirty = True
         pool.completed_at = self.sim.now
@@ -462,67 +613,18 @@ class NetworkEngine:
         metrics.observe("netsim.tcp.cwnd", tcp.cwnd, **labels)
         metrics.observe("netsim.tcp.ssthresh", tcp.ssthresh, **labels)
 
-    # -- incidence caches --------------------------------------------------
+    # -- the flow table ----------------------------------------------------
     def _rebuild_cache(self) -> None:
-        """Recompute the link table, incidence map, and NIC slots.
+        """Flush the previous flow table and build one for the current set.
 
-        The iteration order (flows in arrival order, path links in hop
-        order) deliberately reproduces the encounter order the per-tick
-        dict-building implementation produced, so aggregation and RNG draw
-        sequences are unchanged.
+        The table's column orders (flows in arrival order, link slots in
+        first-encounter order over flow paths) deliberately reproduce the
+        encounter order of the per-object implementation, so aggregation
+        and RNG draw sequences are unchanged.
         """
-        flows = self._flows
-        links: list[Link] = []
-        link_slot: dict[int, int] = {}
-        for f in flows:
-            slots = []
-            for link in f.path:
-                key = id(link)
-                slot = link_slot.get(key)
-                if slot is None:
-                    slot = len(links)
-                    link_slot[key] = slot
-                    links.append(link)
-                slots.append(slot)
-            f._path_slots = slots
-            f._lossy_links = tuple(l for l in f.path if l.loss_rate > 0)
-            # per-packet survival probability per lossy link, precomputed so
-            # the loss pass does not re-derive ``1 - loss_rate`` every tick
-            f._lossy_survive = tuple(1.0 - l.loss_rate for l in f._lossy_links)
-        link_flows: list[list[Flow]] = [[] for _ in links]
-        for f in flows:
-            for slot in f._path_slots:
-                link_flows[slot].append(f)
-        # NIC slots: out-demand is grouped by source host name, in-demand by
-        # destination host name (two independent slot spaces, as before).
-        src_slot: dict[str, int] = {}
-        dst_slot: dict[str, int] = {}
-        src_nics: list[float] = []
-        dst_nics: list[float] = []
-        for f in flows:
-            slot = src_slot.get(f.src.name)
-            if slot is None:
-                slot = len(src_nics)
-                src_slot[f.src.name] = slot
-                src_nics.append(f.src.nic_rate)
-            f._src_slot = slot
-            slot = dst_slot.get(f.dst.name)
-            if slot is None:
-                slot = len(dst_nics)
-                dst_slot[f.dst.name] = slot
-                dst_nics.append(f.dst.nic_rate)
-            f._dst_slot = slot
-        inf = float("inf")
-        self._links = links
-        self._link_flows = link_flows
-        self._has_lossy = any(f._lossy_links for f in flows)
-        self._src_nics = src_nics
-        self._dst_nics = dst_nics
-        self._n_src_slots = len(src_nics)
-        self._n_dst_slots = len(dst_nics)
-        self._nic_bounded = any(r != inf for r in src_nics) or any(
-            r != inf for r in dst_nics
-        )
+        if self._table is not None:
+            self._table.flush_all()
+        self._table = FlowTable(self._flows, self.kernel)
         self._cache_dirty = False
 
     # -- engine loop ---------------------------------------------------------
@@ -552,101 +654,22 @@ class NetworkEngine:
     def _tick(self) -> float:
         if self._cache_dirty:
             self._rebuild_cache()
-        sim_now = self.sim.now
-        flows = self._flows
-        links = self._links
+        t = self._table
         self.tick_count += 1
-        min_rtt = self.MIN_RTT
+        self.flow_tick_count += t.n_flows
+        if t.kernel == "vector":
+            return self._tick_vector(t)
+        return self._tick_scalar(t)
 
-        # 1. effective RTTs and tick length (dt = the smallest flow RTT)
-        queues_empty = True
-        for link in links:
-            if link.queue:
-                queues_empty = False
-                break
-        dt = float("inf")
-        if queues_empty:
-            # queueing sums are exactly 0.0 for every path
-            for f in flows:
-                base = f.base_rtt
-                rtt = base if base > min_rtt else min_rtt
-                f._rtt = rtt
-                if rtt < dt:
-                    dt = rtt
-        else:
-            qd = [link.queue / link.capacity for link in links]
-            for f in flows:
-                queueing = 0.0
-                for slot in f._path_slots:
-                    queueing += qd[slot]
-                rtt = f.base_rtt + queueing
-                if rtt < min_rtt:
-                    rtt = min_rtt
-                f._rtt = rtt
-                if rtt < dt:
-                    dt = rtt
-        if dt < self.MIN_TICK:
-            dt = self.MIN_TICK
-
-        # 2. offered rates (window-limited, rate-capped, supply-limited),
-        # fused with the per-link demand accumulation when no NIC can bind
-        # (the scale pass would multiply by exactly 1.0).
-        nlinks = len(links)
-        link_demand = [0.0] * nlinks
-        if self._nic_bounded:
-            for f in flows:
-                tcp = f.tcp
-                cwnd = tcp.cwnd
-                buffer = tcp._buffer_f
-                f._window_used = window = cwnd if cwnd < buffer else buffer
-                offered = window / f._rtt
-                if offered > f.rate_cap:
-                    offered = f.rate_cap
-                # do not offer more than the pool can still supply this tick
-                supply = f.pool._remaining / dt
-                if offered > supply:
-                    offered = supply
-                f._offered = offered
-            # NIC caps: proportional scale-down at each endpoint.
-            out_demand = [0.0] * self._n_src_slots
-            in_demand = [0.0] * self._n_dst_slots
-            for f in flows:
-                out_demand[f._src_slot] += f._offered
-                in_demand[f._dst_slot] += f._offered
-            src_nics = self._src_nics
-            dst_nics = self._dst_nics
-            for f in flows:
-                scale = 1.0
-                src_demand = out_demand[f._src_slot]
-                nic = src_nics[f._src_slot]
-                if src_demand > nic:
-                    scale = min(scale, nic / src_demand)
-                dst_demand = in_demand[f._dst_slot]
-                nic = dst_nics[f._dst_slot]
-                if dst_demand > nic:
-                    scale = min(scale, nic / dst_demand)
-                f._offered *= scale
-            # 3. link demand (after NIC scaling)
-            for f in flows:
-                offered = f._offered
-                for slot in f._path_slots:
-                    link_demand[slot] += offered
-        else:
-            for f in flows:
-                tcp = f.tcp
-                cwnd = tcp.cwnd
-                buffer = tcp._buffer_f
-                f._window_used = window = cwnd if cwnd < buffer else buffer
-                offered = window / f._rtt
-                if offered > f.rate_cap:
-                    offered = f.rate_cap
-                supply = f.pool._remaining / dt
-                if offered > supply:
-                    offered = supply
-                f._offered = offered
-                for slot in f._path_slots:
-                    link_demand[slot] += offered
-
+    def _advance_links(self, t: FlowTable, link_demand, dt: float,
+                       sim_now: float, link_scale, link_dropped):
+        """Advance queue state on every touched link (plain loop: links are
+        few next to flows).  ``link_demand`` must hold python floats;
+        ``link_scale``/``link_dropped`` may be lists or ndarrays.  Returns
+        ``(congested, dropped_any)``.  Untouched links (uncongested, empty
+        queue) are skipped exactly: their advance would be the identity."""
+        links = t.links
+        link_queue = t.link_queue
         sample_links = (
             self.link_monitor_interval is not None
             and sim_now >= self._next_link_sample
@@ -654,15 +677,14 @@ class NetworkEngine:
         metrics = self.metrics
         congested = False
         dropped_any = False
-        link_scale = [1.0] * nlinks
-        link_dropped = [0.0] * nlinks
-        for slot in range(nlinks):
+        for slot in range(t.n_links):
             link = links[slot]
             demand = link_demand[slot] + link.cross_traffic
             if demand > link.capacity:
                 congested = True
                 link_scale[slot] = link.capacity / demand
                 dropped = link.advance_queue(demand, dt)
+                link_queue[slot] = link.queue
                 if dropped > 0.0:
                     dropped_any = True
                     link_dropped[slot] = dropped
@@ -676,6 +698,7 @@ class NetworkEngine:
             elif link.queue:
                 # draining: advance_queue shrinks the queue, cannot drop
                 link.advance_queue(demand, dt)
+                link_queue[slot] = link.queue
             # else: advance_queue would be a no-op (queue stays 0, no drop)
             if sample_links:
                 link.monitor.timeseries("queue").sample(sim_now, link.queue)
@@ -690,123 +713,553 @@ class NetworkEngine:
                     )
         if sample_links:
             self._next_link_sample = sim_now + self.link_monitor_interval
+        return congested, dropped_any
 
-        if congested:
-            for f in flows:
+    def _detect_finished(self, t: FlowTable) -> list[int]:
+        """Pool rows drained this tick, in first-flow-encounter order (the
+        order pool rows are assigned in, matching the per-flow scan of the
+        per-object implementation)."""
+        pool_remaining = t.pool_remaining
+        return [
+            p for p in range(t.n_pools)
+            if pool_remaining[p] <= 1e-9 and t.pools[p].completed_at is None
+        ]
+
+    def _retire_finished(self, t: FlowTable, finished_rows: list[int],
+                         tick_end: float) -> None:
+        """Retire the flows of drained pools: flush their table rows back
+        into the objects, shrink the flow set, and fire completions."""
+        finished_pools = []
+        for p in finished_rows:
+            pool = t.pools[p]
+            pool.completed_at = tick_end
+            finished_pools.append(pool)
+        done_ids = {id(p) for p in finished_pools}
+        flows = self._flows
+        retired = [f for f in flows if id(f.pool) in done_ids]
+        self._flows = [f for f in flows if id(f.pool) not in done_ids]
+        self._cache_dirty = True
+        for f in retired:
+            t.flush_flow(f)
+        for pool in finished_pools:
+            t.flush_pool(pool)
+        metrics = self.metrics
+        if metrics is not None:
+            for f in retired:
+                self._record_flow_retired(f)
+        for pool in finished_pools:
+            self.monitor.count("transfers_completed")
+            self.monitor.count("bytes_delivered", pool.size)
+            if metrics is not None:
+                metrics.counter("netsim.transfers_completed").inc()
+                metrics.counter("netsim.bytes_delivered").inc(pool.size)
+                elapsed = pool.completed_at - pool.started_at
+                if elapsed > 0:
+                    metrics.histogram(
+                        "netsim.transfer.throughput",
+                        bounds=_THROUGHPUT_BOUNDS,
+                    ).observe(pool.size / elapsed)
+            pool.done.succeed(pool)
+
+    # -- scalar tick kernel ------------------------------------------------
+    def _tick_scalar(self, t: FlowTable) -> float:
+        """One fluid tick over python-list columns (the numpy-free path).
+
+        A faithful port of the per-object tick: same passes, same float
+        operation order, with attribute lookups hoisted into locals and
+        per-tick monitor updates removed (derived on read instead).
+        """
+        sim_now = self.sim.now
+        n = t.n_flows
+        min_rtt = self.MIN_RTT
+        rtt = t.rtt
+        base_rtt = t.base_rtt
+        path_slots = t.path_slots
+        link_queue = t.link_queue
+        nlinks = t.n_links
+
+        # 1. effective RTTs and tick length (dt = the smallest flow RTT)
+        queues_empty = True
+        for q in link_queue:
+            if q:
+                queues_empty = False
+                break
+        dt = float("inf")
+        if queues_empty:
+            # queueing sums are exactly 0.0 for every path
+            for i in range(n):
+                base = base_rtt[i]
+                r = base if base > min_rtt else min_rtt
+                rtt[i] = r
+                if r < dt:
+                    dt = r
+        else:
+            link_capacity = t.link_capacity
+            qd = [link_queue[s] / link_capacity[s] for s in range(nlinks)]
+            for i in range(n):
+                queueing = 0.0
+                for slot in path_slots[i]:
+                    queueing += qd[slot]
+                r = base_rtt[i] + queueing
+                if r < min_rtt:
+                    r = min_rtt
+                rtt[i] = r
+                if r < dt:
+                    dt = r
+        if dt < self.MIN_TICK:
+            dt = self.MIN_TICK
+
+        # 2. offered rates (window-limited, rate-capped, supply-limited),
+        # fused with the per-link demand accumulation when no NIC can bind
+        # (the scale pass would multiply by exactly 1.0).
+        offered = t.offered
+        window_used = t.window_used
+        cwnd = t.cwnd
+        buffer = t.buffer
+        rate_cap = t.rate_cap
+        pool_row = t.pool_row
+        pool_remaining = t.pool_remaining
+        link_demand = [0.0] * nlinks
+        if t.nic_bounded:
+            for i in range(n):
+                cw = cwnd[i]
+                bu = buffer[i]
+                window_used[i] = window = cw if cw < bu else bu
+                off = window / rtt[i]
+                cap = rate_cap[i]
+                if off > cap:
+                    off = cap
+                # do not offer more than the pool can supply this tick
+                supply = pool_remaining[pool_row[i]] / dt
+                if off > supply:
+                    off = supply
+                offered[i] = off
+            # NIC caps: proportional scale-down at each endpoint.
+            src_slot = t.src_slot
+            dst_slot = t.dst_slot
+            out_demand = [0.0] * t.n_src_slots
+            in_demand = [0.0] * t.n_dst_slots
+            for i in range(n):
+                off = offered[i]
+                out_demand[src_slot[i]] += off
+                in_demand[dst_slot[i]] += off
+            src_nics = t.src_nics
+            dst_nics = t.dst_nics
+            for i in range(n):
                 scale = 1.0
-                for slot in f._path_slots:
+                s = src_slot[i]
+                demand = out_demand[s]
+                nic = src_nics[s]
+                if demand > nic:
+                    scale = min(scale, nic / demand)
+                s = dst_slot[i]
+                demand = in_demand[s]
+                nic = dst_nics[s]
+                if demand > nic:
+                    scale = min(scale, nic / demand)
+                offered[i] *= scale
+            # 3. link demand (after NIC scaling)
+            for i in range(n):
+                off = offered[i]
+                for slot in path_slots[i]:
+                    link_demand[slot] += off
+        else:
+            for i in range(n):
+                cw = cwnd[i]
+                bu = buffer[i]
+                window_used[i] = window = cw if cw < bu else bu
+                off = window / rtt[i]
+                cap = rate_cap[i]
+                if off > cap:
+                    off = cap
+                supply = pool_remaining[pool_row[i]] / dt
+                if off > supply:
+                    off = supply
+                offered[i] = off
+                for slot in path_slots[i]:
+                    link_demand[slot] += off
+
+        link_scale = [1.0] * nlinks
+        link_dropped = [0.0] * nlinks
+        congested, dropped_any = self._advance_links(
+            t, link_demand, dt, sim_now, link_scale, link_dropped
+        )
+
+        achieved = t.achieved
+        if congested:
+            for i in range(n):
+                scale = 1.0
+                for slot in path_slots[i]:
                     s = link_scale[slot]
                     if s < scale:
                         scale = s
-                f._achieved = f._offered * scale
+                achieved[i] = offered[i] * scale
         else:
             # every scale is exactly 1.0
-            for f in flows:
-                f._achieved = f._offered
+            for i in range(n):
+                achieved[i] = offered[i]
 
         # 4. loss marks: queue overflow + random per-packet loss
         rng = self._loss_rng
-        if rng is None and (dropped_any or self._has_lossy):
+        if rng is None and (dropped_any or t.has_lossy):
             rng = self._loss_rng = self.random["netsim.loss"]
+        loss_pending = t.loss_pending
+        timeout_pending = t.timeout_pending
+        mss = t.mss
         if dropped_any:
             timeout_fraction = self.TIMEOUT_DROP_FRACTION
-            link_flows = self._link_flows
+            link_flows = t.link_flows
+            link_cross = t.link_cross
             for slot in range(nlinks):
                 dropped = link_dropped[slot]
                 if dropped <= 0:
                     continue
-                demand = link_demand[slot] + links[slot].cross_traffic
+                demand = link_demand[slot] + link_cross[slot]
                 drop_fraction = dropped / max(demand * dt, 1e-12)
                 capped = drop_fraction if drop_fraction < 1.0 else 1.0
-                for f in link_flows[slot]:
-                    packets = f._offered * dt / f.tcp._mss_f
+                base = 1.0 - capped
+                severe = drop_fraction >= timeout_fraction
+                for i in link_flows[slot]:
+                    packets = offered[i] * dt / mss[i]
                     if packets <= 0:
                         continue
-                    p_hit = 1.0 - (1.0 - capped) ** packets
+                    p_hit = 1.0 - base ** packets
                     if rng.random() < p_hit:
-                        f.loss_pending = True
-                        if drop_fraction >= timeout_fraction:
-                            f.timeout_pending = True
-        if self._has_lossy:
+                        loss_pending[i] = True
+                        if severe:
+                            timeout_pending[i] = True
+        if t.has_lossy:
             # Batch the per-(flow, lossy link) uniform draws: a single
             # ``Generator.random(n)`` consumes the identical stream values
             # the equivalent sequence of scalar draws would.
+            lossy_rows = t.lossy_rows
             targets = []
             n_draws = 0
-            for f in flows:
-                if f._achieved <= 0 or not f._lossy_survive:
+            for i in range(n):
+                surv = lossy_rows[i]
+                if achieved[i] <= 0 or not surv:
                     continue
-                targets.append(f)
-                n_draws += len(f._lossy_survive)
+                targets.append(i)
+                n_draws += len(surv)
             if n_draws:
                 draws = rng.random(n_draws).tolist() if n_draws > 1 else (
                     rng.random(),
                 )
-                i = 0
-                for f in targets:
-                    packets = f._achieved * dt / f.tcp._mss_f
-                    for survive in f._lossy_survive:
+                k = 0
+                for i in targets:
+                    packets = achieved[i] * dt / mss[i]
+                    for survive in lossy_rows[i]:
                         p_hit = 1.0 - survive ** packets
-                        if draws[i] < p_hit:
-                            f.loss_pending = True
-                        i += 1
+                        if draws[k] < p_hit:
+                            loss_pending[i] = True
+                        k += 1
 
         # 5+6. delivery and RTT-boundary window updates, one pass per flow.
         # Interleaving is exact: deliveries touch only pools (updated in the
         # same flow order), window updates touch only per-flow TCP state.
         tick_end = sim_now + dt
         round_edge = tick_end + 1e-12
+        pool_delivered = t.pool_delivered
+        delivered = t.delivered
+        next_round_at = t.next_round_at
+        ssthresh = t.ssthresh
+        rounds = t.rounds
+        losses = t.losses
+        timeouts = t.timeouts
+        buffer2 = t.buffer2
+        initial_cwnd = t.initial_cwnd
         any_exhausted = False
-        for f in flows:
-            pool = f.pool
-            amount = f._achieved * dt
-            remaining = pool._remaining
+        for i in range(n):
+            p = pool_row[i]
+            amount = achieved[i] * dt
+            remaining = pool_remaining[p]
             taken = amount if amount <= remaining else remaining
-            pool._remaining = remaining - taken
-            pool._delivered += taken
-            f.delivered += taken
-            if taken:
-                counters = f._mon_counters
-                counters["bytes"] = counters.get("bytes", 0.0) + taken
-            if pool._remaining <= 1e-9:
+            pool_remaining[p] = remaining - taken
+            pool_delivered[p] += taken
+            delivered[i] += taken
+            if pool_remaining[p] <= 1e-9:
                 any_exhausted = True
-            if round_edge >= f.next_round_at:
-                f.tcp.on_round(loss=f.loss_pending, timeout=f.timeout_pending)
-                f.loss_pending = False
-                f.timeout_pending = False
-                f.next_round_at = tick_end + f._rtt
-        finished_pools: list[SharedBytePool] = []
-        if any_exhausted:
-            for f in flows:
-                pool = f.pool
-                if pool._remaining <= 1e-9 and pool.completed_at is None:
-                    pool.completed_at = tick_end
-                    finished_pools.append(pool)
+            if round_edge >= next_round_at[i]:
+                # inline TcpState.on_round over the table columns
+                rounds[i] += 1.0
+                if timeout_pending[i]:
+                    timeouts[i] += 1.0
+                    cw = cwnd[i]
+                    bu = buffer[i]
+                    window = cw if cw < bu else bu
+                    cut = window / 2.0
+                    ms2 = 2.0 * mss[i]
+                    ssthresh[i] = cut if cut > ms2 else ms2
+                    cwnd[i] = initial_cwnd[i]
+                elif loss_pending[i]:
+                    losses[i] += 1.0
+                    cw = cwnd[i]
+                    bu = buffer[i]
+                    window = cw if cw < bu else bu
+                    cut = window / 2.0
+                    ms2 = 2.0 * mss[i]
+                    ss = cut if cut > ms2 else ms2
+                    ssthresh[i] = ss
+                    cwnd[i] = ss
+                else:
+                    cw = cwnd[i]
+                    ss = ssthresh[i]
+                    ms = mss[i]
+                    if cw < ss:
+                        # exponential growth, never overshooting past
+                        # ssthresh by more than the doubling allows
+                        a = cw * 2.0
+                        b = cw + ms
+                        if b < ss:
+                            b = ss
+                        cw = a if a < b else b
+                    else:
+                        cw = cw + ms
+                    b2 = buffer2[i]
+                    cwnd[i] = cw if cw < b2 else b2
+                loss_pending[i] = False
+                timeout_pending[i] = False
+                next_round_at[i] = tick_end + rtt[i]
 
-        # 7. retire flows of finished pools
-        if finished_pools:
-            done_ids = {id(p) for p in finished_pools}
-            self._flows = [f for f in flows if id(f.pool) not in done_ids]
-            self._cache_dirty = True
-            if metrics is not None:
-                for f in flows:
-                    if id(f.pool) in done_ids:
-                        self._record_flow_retired(f)
-            for pool in finished_pools:
-                self.monitor.count("transfers_completed")
-                self.monitor.count("bytes_delivered", pool.size)
-                if metrics is not None:
-                    metrics.counter("netsim.transfers_completed").inc()
-                    metrics.counter("netsim.bytes_delivered").inc(pool.size)
-                    elapsed = pool.completed_at - pool.started_at
-                    if elapsed > 0:
-                        metrics.histogram(
-                            "netsim.transfer.throughput",
-                            bounds=_THROUGHPUT_BOUNDS,
-                        ).observe(pool.size / elapsed)
-                pool.done.succeed(pool)
+        finished_rows = self._detect_finished(t) if any_exhausted else []
         self._tick_quiet = queues_empty and not congested
+        if finished_rows:
+            self._retire_finished(t, finished_rows, tick_end)
         return dt
+
+    # -- vector tick kernel ------------------------------------------------
+    def _tick_vector(self, t: FlowTable) -> float:
+        """One fluid tick as whole-array passes (the numpy path).
+
+        Bit-identical to the scalar kernel: ``bincount``/``ufunc.at``
+        accumulate sequentially in operand order (reproducing the scalar
+        running sums), batched RNG draws consume the same stream values as
+        the equivalent scalar call sequence, and every elementwise op maps
+        one-to-one onto a scalar float op.  The two places where order or
+        rounding could diverge are handled explicitly: pools near
+        exhaustion fall back to the exact running-min loop, and loss draws
+        within :data:`_POW_BAND` of the vectorized ``np.power`` are
+        re-decided with python ``**``.
+        """
+        sim_now = self.sim.now
+        n = t.n_flows
+        rtt = t.rtt
+
+        # 1. effective RTTs and tick length (dt = the smallest flow RTT)
+        link_queue = t.link_queue
+        queues_empty = not link_queue.any()
+        if queues_empty:
+            np.maximum(t.base_rtt, self.MIN_RTT, out=rtt)
+        else:
+            qd = link_queue / t.link_capacity
+            queueing = np.bincount(
+                t.path_flow, weights=qd[t.path_link], minlength=n
+            )
+            np.add(t.base_rtt, queueing, out=rtt)
+            np.maximum(rtt, self.MIN_RTT, out=rtt)
+        dt = float(rtt.min())
+        if dt < self.MIN_TICK:
+            dt = self.MIN_TICK
+
+        # 2. offered rates (window-limited, rate-capped, supply-limited)
+        offered = t.offered
+        np.minimum(t.cwnd, t.buffer, out=t.window_used)
+        np.divide(t.window_used, rtt, out=offered)
+        np.minimum(offered, t.rate_cap, out=offered)
+        supply = t.pool_remaining[t.pool_row] / dt
+        np.minimum(offered, supply, out=offered)
+        if t.nic_bounded:
+            # NIC caps: proportional scale-down at each endpoint; the
+            # masked divide leaves 1.0 where the NIC has headroom, exactly
+            # the scalar min(1, nic/demand) chain
+            out_demand = np.bincount(
+                t.src_slot, weights=offered, minlength=t.n_src_slots
+            )
+            in_demand = np.bincount(
+                t.dst_slot, weights=offered, minlength=t.n_dst_slots
+            )
+            nic = t.src_nics[t.src_slot]
+            demand = out_demand[t.src_slot]
+            scale = np.divide(
+                nic, demand, out=np.ones(n), where=demand > nic
+            )
+            nic = t.dst_nics[t.dst_slot]
+            demand = in_demand[t.dst_slot]
+            ratio = np.divide(
+                nic, demand, out=np.ones(n), where=demand > nic
+            )
+            np.minimum(scale, ratio, out=scale)
+            offered *= scale
+        # 3. link demand (flow-major accumulation, as the scalar loop)
+        link_demand = np.bincount(
+            t.path_link, weights=offered[t.path_flow], minlength=t.n_links
+        )
+
+        link_scale = np.ones(t.n_links)
+        link_dropped = np.zeros(t.n_links)
+        congested, dropped_any = self._advance_links(
+            t, link_demand.tolist(), dt, sim_now, link_scale, link_dropped
+        )
+
+        achieved = t.achieved
+        if congested:
+            ach_scale = np.ones(n)
+            np.minimum.at(ach_scale, t.path_flow, link_scale[t.path_link])
+            np.multiply(offered, ach_scale, out=achieved)
+        else:
+            # every scale is exactly 1.0
+            achieved[:] = offered
+
+        # 4. loss marks: queue overflow + random per-packet loss
+        rng = self._loss_rng
+        if rng is None and (dropped_any or t.has_lossy):
+            rng = self._loss_rng = self.random["netsim.loss"]
+        loss_pending = t.loss_pending
+        timeout_pending = t.timeout_pending
+        if dropped_any:
+            # (link, flow) pairs are link-major, flows in incidence order
+            # within a link — the scalar draw order
+            sel = link_dropped[t.ov_link] > 0.0
+            pl = t.ov_link[sel]
+            pf = t.ov_flow[sel]
+            packets = offered[pf] * dt / t.mss[pf]
+            elig = packets > 0
+            if not elig.all():
+                pl = pl[elig]
+                pf = pf[elig]
+                packets = packets[elig]
+            k = pf.size
+            if k:
+                demand_d = link_demand[pl] + t.link_cross[pl]
+                drop_fraction = link_dropped[pl] / np.maximum(
+                    demand_d * dt, 1e-12
+                )
+                capped = np.minimum(drop_fraction, 1.0)
+                base = 1.0 - capped
+                draws = rng.random(k)
+                p_hit = 1.0 - np.power(base, packets)
+                hit = draws < p_hit
+                band = np.abs(draws - p_hit) <= _POW_BAND
+                if band.any():
+                    for j in np.nonzero(band)[0]:
+                        p_exact = 1.0 - float(base[j]) ** float(packets[j])
+                        hit[j] = bool(draws[j] < p_exact)
+                if hit.any():
+                    loss_pending[pf[hit]] = True
+                    severe = hit & (
+                        drop_fraction >= self.TIMEOUT_DROP_FRACTION
+                    )
+                    if severe.any():
+                        timeout_pending[pf[severe]] = True
+        if t.has_lossy:
+            # (flow, lossy link) pairs are flow-major — the scalar order;
+            # a single batched draw consumes the identical stream values
+            elig = achieved[t.lossy_flow] > 0
+            lf = t.lossy_flow[elig]
+            k = lf.size
+            if k:
+                surv = t.lossy_survive[elig]
+                draws = rng.random(k)
+                packets = achieved[lf] * dt / t.mss[lf]
+                p_hit = 1.0 - np.power(surv, packets)
+                hit = draws < p_hit
+                band = np.abs(draws - p_hit) <= _POW_BAND
+                if band.any():
+                    for j in np.nonzero(band)[0]:
+                        p_exact = 1.0 - float(surv[j]) ** float(packets[j])
+                        hit[j] = bool(draws[j] < p_exact)
+                if hit.any():
+                    loss_pending[lf[hit]] = True
+
+        # 5. delivery: sequential per-pool settlement via unbuffered
+        # ufunc.at for pools with comfortable supply; pools whose remaining
+        # bytes are within a drift margin of this tick's total draw fall
+        # back to the exact running-min loop (they are the ones about to
+        # clamp or finish, a handful per tick at most)
+        tick_end = sim_now + dt
+        round_edge = tick_end + 1e-12
+        amounts = achieved * dt
+        pool_row = t.pool_row
+        pool_remaining = t.pool_remaining
+        pool_delivered = t.pool_delivered
+        delivered = t.delivered
+        pool_take = np.bincount(
+            pool_row, weights=amounts, minlength=t.n_pools
+        )
+        margin = 1e-9 * (np.abs(pool_remaining) + pool_take) + 1e-9
+        risky = pool_remaining - pool_take <= margin
+        if risky.any():
+            safe = ~risky[pool_row]
+            if safe.any():
+                np.subtract.at(pool_remaining, pool_row[safe], amounts[safe])
+                np.add.at(pool_delivered, pool_row[safe], amounts[safe])
+                delivered[safe] += amounts[safe]
+            for p in np.nonzero(risky)[0]:
+                rem = float(pool_remaining[p])
+                dlv = float(pool_delivered[p])
+                for i in t.pool_rows_of[p]:
+                    amount = float(amounts[i])
+                    taken = amount if amount <= rem else rem
+                    rem -= taken
+                    dlv += taken
+                    delivered[i] += taken
+                pool_remaining[p] = rem
+                pool_delivered[p] = dlv
+        else:
+            np.subtract.at(pool_remaining, pool_row, amounts)
+            np.add.at(pool_delivered, pool_row, amounts)
+            delivered += amounts
+        any_exhausted = bool((pool_remaining <= 1e-9).any())
+
+        # 6. RTT-boundary window updates (independent of deliveries, so
+        # running them after the whole delivery pass is exact)
+        boundary = np.nonzero(round_edge >= t.next_round_at)[0]
+        if boundary.size:
+            self._on_round_rows(t, boundary, tick_end, use_pending=True)
+
+        finished_rows = self._detect_finished(t) if any_exhausted else []
+        self._tick_quiet = queues_empty and not congested
+        if finished_rows:
+            self._retire_finished(t, finished_rows, tick_end)
+        return dt
+
+    def _on_round_rows(self, t: FlowTable, idx, tick_end: float,
+                       use_pending: bool) -> None:
+        """Vectorized ``TcpState.on_round`` over the rows in ``idx``.
+
+        Elementwise translation of the scalar branches: timeout collapses
+        to the initial window, loss deflates to the halved ssthresh, and
+        clean rounds grow (doubling in slow start, +MSS in avoidance,
+        clamped at twice the buffer).  With ``use_pending=False`` every
+        row takes the clean-round branch (the stretched-tick case).
+        """
+        cw = t.cwnd[idx]
+        bu = t.buffer[idx]
+        ss = t.ssthresh[idx]
+        ms = t.mss[idx]
+        t.rounds[idx] += 1.0
+        grow = np.where(
+            cw < ss,
+            np.minimum(cw * 2.0, np.maximum(ss, cw + ms)),
+            cw + ms,
+        )
+        grow = np.minimum(grow, t.buffer2[idx])
+        if use_pending:
+            lp = t.loss_pending[idx]
+            tp = t.timeout_pending[idx]
+            win = np.minimum(cw, bu)
+            cut = np.maximum(win / 2.0, 2.0 * ms)
+            t.cwnd[idx] = np.where(
+                tp, t.initial_cwnd[idx], np.where(lp, cut, grow)
+            )
+            t.ssthresh[idx] = np.where(lp | tp, cut, ss)
+            t.timeouts[idx] += tp
+            t.losses[idx] += lp & ~tp
+            t.loss_pending[idx] = False
+            t.timeout_pending[idx] = False
+        else:
+            t.cwnd[idx] = grow
+        t.next_round_at[idx] = tick_end + t.rtt[idx]
 
     # -- adaptive tick stretching ------------------------------------------
     def _plan_stretch(self, dt: float) -> Optional[_Stretch]:
@@ -818,45 +1271,16 @@ class NetworkEngine:
         evolution, no loss marks, no random draws, and window updates that
         cannot change the effective (buffer-clamped) window.
         """
-        flows = self._flows
-        if not flows or self._has_lossy or not self._tick_quiet:
-            return None
         if self._cache_dirty:
             # flow set changed during this tick (a pool finished)
             return None
-        for f in flows:
-            if f.loss_pending or f.timeout_pending:
-                return None
-            tcp = f.tcp
-            if tcp.cwnd < tcp.params.buffer:
-                return None  # window not clamped: rounds would change rates
-            if tcp.window != f._window_used:
-                # an RTT boundary inside the planning tick grew the window;
-                # the snapshot rate would be stale for the very next tick
-                return None
-
-        # Pool margins: stop stretching well before any pool's remaining
-        # supply could clamp an offered rate or complete a transfer.
-        consumption: dict[int, float] = {}
-        max_unclamped: dict[int, float] = {}
-        for f in flows:
-            key = id(f.pool)
-            consumption[key] = consumption.get(key, 0.0) + f._achieved * dt
-            unclamped = f.tcp.window / f._rtt
-            if unclamped > f.rate_cap:
-                unclamped = f.rate_cap
-            draw = unclamped * dt
-            if draw > max_unclamped.get(key, 0.0):
-                max_unclamped[key] = draw
-        budget = self.MAX_STRETCH_TICKS
-        pools = {id(f.pool): f.pool for f in flows}
-        for key, per_tick in consumption.items():
-            if per_tick <= 0.0:
-                continue
-            headroom = pools[key]._remaining - max_unclamped[key]
-            m_pool = int(headroom / per_tick) - 1
-            if m_pool < budget:
-                budget = m_pool
+        t = self._table
+        if t is None or not t.n_flows or t.has_lossy or not self._tick_quiet:
+            return None
+        if t.kernel == "vector":
+            budget = self._stretch_budget_vector(t, dt)
+        else:
+            budget = self._stretch_budget_scalar(t, dt)
         if budget < 2:
             return None
 
@@ -867,12 +1291,95 @@ class NetworkEngine:
         for _ in range(budget):
             b = b + dt
             bounds.append(b)
-        return _Stretch(
-            bounds=bounds,
-            dt=dt,
-            flows=list(flows),
-            rates=[f._achieved for f in flows],
+        # per-flow delivery per stretched tick: rate * dt is constant across
+        # the window, so one multiplication serves every settled tick
+        if t.kernel == "vector":
+            amounts = t.achieved * dt
+        else:
+            achieved = t.achieved
+            amounts = [achieved[i] * dt for i in range(t.n_flows)]
+        return _Stretch(bounds=bounds, dt=dt, table=t, amounts=amounts)
+
+    def _stretch_budget_vector(self, t: FlowTable, dt: float) -> int:
+        """Stretchable tick count under the vector kernel (0 = don't)."""
+        if t.loss_pending.any() or t.timeout_pending.any():
+            return 0
+        if (t.cwnd < t.buffer).any():
+            return 0  # window not clamped: rounds would change rates
+        window = np.minimum(t.cwnd, t.buffer)
+        if (window != t.window_used).any():
+            # an RTT boundary inside the planning tick grew the window;
+            # the snapshot rate would be stale for the very next tick
+            return 0
+        # Pool margins: stop stretching well before any pool's remaining
+        # supply could clamp an offered rate or complete a transfer.
+        consumption = np.bincount(
+            t.pool_row, weights=t.achieved * dt, minlength=t.n_pools
         )
+        unclamped = np.minimum(window / t.rtt, t.rate_cap)
+        max_draw = np.zeros(t.n_pools)
+        np.maximum.at(max_draw, t.pool_row, unclamped * dt)
+        budget = self.MAX_STRETCH_TICKS
+        active = consumption > 0.0
+        if active.any():
+            headroom = t.pool_remaining[active] - max_draw[active]
+            # trunc-minus-one in float space == the scalar int()-1 for any
+            # ratio small enough to matter (budget caps at 4096 anyway)
+            m = np.trunc(headroom / consumption[active]) - 1.0
+            m_min = float(m.min())
+            if m_min < budget:
+                budget = int(m_min)
+        return budget
+
+    def _stretch_budget_scalar(self, t: FlowTable, dt: float) -> int:
+        """Stretchable tick count under the scalar kernel (0 = don't)."""
+        n = t.n_flows
+        cwnd = t.cwnd
+        buffer = t.buffer
+        window_used = t.window_used
+        loss_pending = t.loss_pending
+        timeout_pending = t.timeout_pending
+        for i in range(n):
+            if loss_pending[i] or timeout_pending[i]:
+                return 0
+            cw = cwnd[i]
+            bu = buffer[i]
+            if cw < bu:
+                return 0  # window not clamped: rounds would change rates
+            window = cw if cw < bu else bu
+            if window != window_used[i]:
+                # an RTT boundary inside this tick grew the window
+                return 0
+        consumption = [0.0] * t.n_pools
+        max_draw = [0.0] * t.n_pools
+        achieved = t.achieved
+        rtt = t.rtt
+        rate_cap = t.rate_cap
+        pool_row = t.pool_row
+        for i in range(n):
+            p = pool_row[i]
+            consumption[p] += achieved[i] * dt
+            cw = cwnd[i]
+            bu = buffer[i]
+            window = cw if cw < bu else bu
+            unclamped = window / rtt[i]
+            cap = rate_cap[i]
+            if unclamped > cap:
+                unclamped = cap
+            draw = unclamped * dt
+            if draw > max_draw[p]:
+                max_draw[p] = draw
+        budget = self.MAX_STRETCH_TICKS
+        pool_remaining = t.pool_remaining
+        for p in range(t.n_pools):
+            per_tick = consumption[p]
+            if per_tick <= 0.0:
+                continue
+            headroom = pool_remaining[p] - max_draw[p]
+            m_pool = int(headroom / per_tick) - 1
+            if m_pool < budget:
+                budget = m_pool
+        return budget
 
     def _settle_stretch(self, limit: float) -> None:
         """Replay stretched ticks whose start time is at or before ``limit``.
@@ -880,37 +1387,74 @@ class NetworkEngine:
         Each replayed tick performs exactly the delivery and RTT-boundary
         passes a full tick would have performed, in the same order with the
         same floating-point operations; all other passes are identities
-        under the stretch preconditions.
+        under the stretch preconditions.  The vector replay settles pools
+        with an unclamped ``subtract.at``: the planner's one-tick headroom
+        margin guarantees the scalar running-min clamp would never engage.
         """
         st = self._stretch
         if st is None:
             return
         bounds = st.bounds
-        flows = st.flows
-        rates = st.rates
-        dt = st.dt
+        t = st.table
         i = st.settled
-        n = len(bounds) - 1
-        nflows = len(flows)
-        while i < n and bounds[i] <= limit:
-            tick_end = bounds[i + 1]
-            for k in range(nflows):
-                f = flows[k]
-                pool = f.pool
-                amount = rates[k] * dt
-                remaining = pool._remaining
-                taken = amount if amount <= remaining else remaining
-                pool._remaining = remaining - taken
-                pool._delivered += taken
-                f.delivered += taken
-                if taken:
-                    counters = f._mon_counters
-                    counters["bytes"] = counters.get("bytes", 0.0) + taken
-                if tick_end + 1e-12 >= f.next_round_at:
-                    f.tcp.on_round(loss=False)
-                    f.next_round_at = tick_end + f._rtt
-            i += 1
-        self.settled_tick_count += i - st.settled
+        nticks = len(bounds) - 1
+        start = i
+        n = t.n_flows
+        pool_row = t.pool_row
+        pool_remaining = t.pool_remaining
+        pool_delivered = t.pool_delivered
+        delivered = t.delivered
+        next_round_at = t.next_round_at
+        amounts = st.amounts
+        if t.kernel == "vector":
+            while i < nticks and bounds[i] <= limit:
+                tick_end = bounds[i + 1]
+                np.subtract.at(pool_remaining, pool_row, amounts)
+                np.add.at(pool_delivered, pool_row, amounts)
+                delivered += amounts
+                idx = np.nonzero(tick_end + 1e-12 >= next_round_at)[0]
+                if idx.size:
+                    self._on_round_rows(t, idx, tick_end, use_pending=False)
+                i += 1
+        else:
+            rtt = t.rtt
+            cwnd = t.cwnd
+            ssthresh = t.ssthresh
+            rounds = t.rounds
+            mss = t.mss
+            buffer2 = t.buffer2
+            while i < nticks and bounds[i] <= limit:
+                tick_end = bounds[i + 1]
+                edge = tick_end + 1e-12
+                for k in range(n):
+                    p = pool_row[k]
+                    amount = amounts[k]
+                    remaining = pool_remaining[p]
+                    taken = amount if amount <= remaining else remaining
+                    pool_remaining[p] = remaining - taken
+                    pool_delivered[p] += taken
+                    delivered[k] += taken
+                    if edge >= next_round_at[k]:
+                        # inline clean-round TcpState.on_round
+                        rounds[k] += 1.0
+                        cw = cwnd[k]
+                        ss = ssthresh[k]
+                        ms = mss[k]
+                        if cw < ss:
+                            a = cw * 2.0
+                            b = cw + ms
+                            if b < ss:
+                                b = ss
+                            cw = a if a < b else b
+                        else:
+                            cw = cw + ms
+                        b2 = buffer2[k]
+                        cwnd[k] = cw if cw < b2 else b2
+                        next_round_at[k] = tick_end + rtt[k]
+                i += 1
+        settled_now = i - start
+        self.settled_tick_count += settled_now
+        self.flow_tick_count += settled_now * n
         st.settled = i
 
     def _abort_stretch(self) -> None:
@@ -923,8 +1467,7 @@ class NetworkEngine:
         st = self._stretch
         if st is None:
             return
-        now = self.sim.now
-        self._settle_stretch(now)
+        self._settle_stretch(self.sim.now)
         bounds = st.bounds
         if st.settled < len(bounds) - 1:
             self._realign_at = bounds[st.settled]

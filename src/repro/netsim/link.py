@@ -8,6 +8,16 @@ The queue is a fluid quantity in bytes.  Cross-traffic is a constant-rate
 background load that consumes capacity and absorbs its proportional share of
 overflow drops but never backs off — this is what makes a 45 Mbps production
 link deliver ≈25 Mbps to a new transfer, as observed in the paper's testbed.
+
+The Link object stays *authoritative* for queue state even under the
+flow-table kernels: the engine calls :meth:`Link.advance_queue` per
+touched link each tick and mirrors ``queue`` back into its table column
+(a read-only copy used for the whole-array RTT pass), so external readers
+— :meth:`queueing_delay` for control-message latency, ``tools.ping``,
+monitors — always see the current value without any flush step.
+``capacity``/``cross_traffic``/``loss_rate``/``queue_capacity`` are
+treated as immutable after construction; the table snapshots them once
+per rebuild.
 """
 
 from __future__ import annotations

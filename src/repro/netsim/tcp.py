@@ -14,6 +14,15 @@ guide is based on).  Per round:
 
 The *effective* send window is ``min(cwnd, buffer)``: the socket-buffer
 clamp is exactly the tuning knob studied in Figures 5 and 6.
+
+While a flow is active its window state lives in the engine's
+:class:`~repro.netsim.flowtable.FlowTable` and evolves through the tick
+kernels' *inlined* copies of :meth:`TcpState.on_round` (the scalar loop
+and the vectorized ``_on_round_rows``), which are required to reproduce
+this method's float operations exactly — change one, change all three.
+The object here is the seed state at ``open_flow`` time, the detached
+state after retirement, and the reference implementation the differential
+tests compare the kernels against.
 """
 
 from __future__ import annotations
@@ -53,10 +62,14 @@ class TcpState:
         self.rounds = 0
         self.losses = 0
         self.timeouts = 0
-        # hot-path constants (params is frozen, so these cannot go stale)
+        # hot-path constants (params is frozen, so these cannot go stale);
+        # the flow table snapshots these into its columns
         self._buffer_f = float(params.buffer)
         self._buffer2 = 2.0 * self._buffer_f
         self._mss_f = float(params.mss)
+        self._initial_cwnd_f = float(
+            params.initial_cwnd_segments * params.mss
+        )
 
     @property
     def window(self) -> float:
@@ -82,7 +95,7 @@ class TcpState:
         if timeout:
             self.timeouts += 1
             self.ssthresh = max(self.window / 2.0, 2.0 * mss)
-            self.cwnd = float(self.params.initial_cwnd_segments * self.params.mss)
+            self.cwnd = self._initial_cwnd_f
             return
         if loss:
             self.losses += 1

@@ -94,7 +94,11 @@ def iperf(
                                 name="iperf")
     start = sim.now
     sim.run(until=start + duration)
+    # The pool is a view into the engine's flow table; reading ``delivered``
+    # settles any adaptive-stretch ticks up to ``sim.now`` first, so the
+    # measurement window is exact even on quiet (heavily stretched) paths.
     moved = pool.delivered
-    # Tear the test flows down so later traffic is unaffected.
+    # Tear the test flows down so later traffic is unaffected.  The setter
+    # aborts any in-flight stretch before mutating.
     pool.remaining = 0.0
     return IperfResult(streams=streams, duration=duration, bytes_transferred=moved)

@@ -5,7 +5,13 @@ import os
 import pytest
 
 from repro.experiments import buffer_sweep, figure5, object_vs_file
-from repro.experiments.parallel import SERIAL_ENV, default_processes, run_sweep
+from repro.experiments.parallel import (
+    SERIAL_ENV,
+    default_processes,
+    plan_buckets,
+    run_sweep,
+    run_weighted,
+)
 
 
 def _square(x):
@@ -64,6 +70,50 @@ def test_worker_exceptions_propagate():
         run_sweep(_fail, [1, 2], processes=2)
     with pytest.raises(RuntimeError, match="boom"):
         run_sweep(_fail, [1, 2], processes=1)
+
+
+def test_plan_buckets_is_deterministic_lpt():
+    # heaviest first into the lightest bucket; ties by input/bucket index
+    weights = [5.0, 1.0, 4.0, 2.0, 2.0]
+    assert plan_buckets(weights, 2) == [[0, 4], [2, 3, 1]]
+    # the plan is a pure function of (weights, buckets)
+    assert plan_buckets(weights, 2) == plan_buckets(weights, 2)
+
+
+def test_plan_buckets_drops_empty_buckets():
+    assert plan_buckets([3.0], 4) == [[0]]
+
+
+def test_run_weighted_results_follow_input_order():
+    points = [7, 3, 9, 1, 5, 2]
+    weights = [float(p) for p in points]
+    assert run_weighted(_square, points, weights, processes=3) == [
+        p * p for p in points
+    ]
+
+
+def test_run_weighted_equals_serial():
+    points = list(range(11))
+    weights = [float((i * 7) % 5 + 1) for i in range(11)]
+    assert run_weighted(_square, points, weights, processes=4) == \
+        run_weighted(_square, points, weights, processes=1)
+
+
+def test_run_weighted_rejects_mismatched_weights():
+    with pytest.raises(ValueError, match="weights"):
+        run_weighted(_square, [1, 2, 3], [1.0])
+
+
+def test_run_weighted_serial_env(monkeypatch):
+    calls = []
+
+    def record(x):
+        calls.append(x)
+        return x
+
+    monkeypatch.setenv(SERIAL_ENV, "1")
+    assert run_weighted(record, [4, 5], [1.0, 9.0], processes=8) == [4, 5]
+    assert calls == [4, 5]
 
 
 def test_figure5_parallel_is_identical_to_serial():

@@ -28,6 +28,13 @@ echo "== telemetry: exporter shape + determinism (smoke) =="
 python tools/telemetry_smoke.py
 python tools/perf_report.py --telemetry --smoke --output - > /dev/null
 
+echo "== netsim kernels: vector-vs-scalar differential =="
+python -m pytest -x -q tests/netsim/test_vector_scalar_differential.py
+
+echo "== flow scale (smoke) + regression gate =="
+python benchmarks/bench_flow_scale.py --smoke > /dev/null
+python tools/perf_report.py --flow-scale --smoke --output - > /dev/null
+
 echo "== catalog: indexed-vs-naive differential =="
 python -m pytest -x -q tests/catalog/test_search_differential.py
 
