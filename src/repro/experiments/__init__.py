@@ -19,6 +19,7 @@ catalog   EXP-CAT — replica catalog operation latency local vs WAN
 gdmp      EXP-GDMP — end-to-end replication pipeline with failures
 staging   EXP-MSS — stage-on-demand cost
 chaos     EXP-CHAOS — fault-injection campaigns; recovery convergence
+workload  EXP-WORKLOAD — claim-based standing pipeline at request scale
 ========  ==========================================================
 """
 
@@ -39,6 +40,7 @@ from repro.experiments import (  # noqa: F401
     server_overhead,
     staging,
     tuning_claims,
+    workload,
 )
 
 EXPERIMENTS = {
@@ -58,6 +60,7 @@ EXPERIMENTS = {
     "catalog-scale": catalog_scale,
     "remote-access": remote_access,
     "chaos": chaos,
+    "workload": workload,
 }
 
 __all__ = ["EXPERIMENTS"]

@@ -14,7 +14,8 @@ matching keyword; others simply ignore them):
 Experiment parameters (likewise forwarded only where supported):
 
 * ``--seed=N`` — simulation seed (e.g. the chaos campaign schedule);
-* ``--campaign=NAME`` — fault class for the chaos experiment.
+* ``--campaign=NAME`` — fault class for the chaos/workload experiments;
+* ``--requests=N`` — arrival-stream size for the workload experiment.
 """
 
 from __future__ import annotations
@@ -35,6 +36,7 @@ _PATH_FLAGS = {
 _VALUE_FLAGS = {
     "--seed=": ("seed", int),
     "--campaign=": ("campaign", str),
+    "--requests=": ("requests", int),
 }
 
 

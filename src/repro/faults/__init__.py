@@ -13,6 +13,7 @@ from repro.faults.campaign import (  # noqa: F401
     FaultCampaign,
     FaultEvent,
     catalog_blackhole_campaign,
+    component_crash_campaign,
     crash_restart_campaign,
     link_flap_campaign,
     mss_stall_campaign,
@@ -24,6 +25,7 @@ __all__ = [
     "FaultEvent",
     "FaultInjector",
     "catalog_blackhole_campaign",
+    "component_crash_campaign",
     "crash_restart_campaign",
     "link_flap_campaign",
     "mss_stall_campaign",

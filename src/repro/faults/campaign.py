@@ -29,6 +29,7 @@ __all__ = [
     "crash_restart_campaign",
     "mss_stall_campaign",
     "catalog_blackhole_campaign",
+    "component_crash_campaign",
 ]
 
 #: every fault kind the injector knows how to apply
@@ -38,6 +39,7 @@ FAULT_KINDS = frozenset({
     "mss_stall", "mss_error",                    # tape-system misbehaviour
     "catalog_blackhole", "catalog_restore",      # catalog RPC black-hole
     "catalog_delay", "catalog_delay_clear",      # catalog RPC extra latency
+    "component_crash", "component_restart",      # workload pipeline worker
 })
 
 
@@ -183,6 +185,34 @@ def mss_stall_campaign(
         at = start + float(rng.uniform(0.0, spread))
         events.append(FaultEvent(round(at, 6), "mss_error", site, 1.0))
     return FaultCampaign("mss-stall", tuple(events))
+
+
+def component_crash_campaign(
+    streams,
+    components: Sequence[str],
+    *,
+    crashes: int = 4,
+    start: float = 10.0,
+    spread: float = 120.0,
+    min_down: float = 15.0,
+    max_down: float = 45.0,
+) -> FaultCampaign:
+    """Kill random standing pipeline components (``picker@anl`` …) and
+    restart them later: whatever claims the component held stop being
+    renewed, the leases expire, and the tasks are re-claimed — the
+    workload engine's exactly-once convergence story under test."""
+    if not components:
+        raise ValueError("no components to crash")
+    rng = streams["faults.component_crash"]
+    return FaultCampaign(
+        "component-crash",
+        tuple(_window_events(
+            rng, crashes, list(components),
+            "component_crash", "component_restart",
+            start=start, spread=spread,
+            min_down=min_down, max_down=max_down,
+        )),
+    )
 
 
 def catalog_blackhole_campaign(

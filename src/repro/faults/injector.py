@@ -250,6 +250,31 @@ class FaultInjector:
             prefix=_CATALOG_PREFIX,
         )
 
+    # -- workload pipeline components -------------------------------------------
+    def _workload_component(self, name: str):
+        engine = getattr(self.grid, "workload", None)
+        if engine is None:
+            raise ValueError(
+                f"cannot target component {name!r}: "
+                "no workload engine attached to this grid"
+            )
+        return engine.component(name)
+
+    def _apply_component_crash(self, event: FaultEvent) -> None:
+        key = ("component", event.target)
+        if self._bump(key, +1) > 1:
+            return
+        self._workload_component(event.target).crash()
+        self._open_span(key, "fault:component_crash")
+
+    def _apply_component_restart(self, event: FaultEvent) -> None:
+        key = ("component", event.target)
+        if self._bump(key, -1) == 0:
+            component = self._workload_component(event.target)
+            if not component.running():
+                component.start()
+            self._close_span(key)
+
     # -- introspection ----------------------------------------------------------
     def active_faults(self) -> dict[tuple[str, str], int]:
         """Currently-open down windows (refcounts), for assertions."""

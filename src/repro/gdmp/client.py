@@ -21,21 +21,15 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.gdmp.config import GdmpConfig
-from repro.gdmp.data_mover import DataMover, DataMoverError
+from repro.gdmp.data_mover import DataMover
+from repro.gdmp.failover import failover_walk, ranked_sources
 from repro.gdmp.plugins import PluginRegistry
-from repro.gdmp.replica_selection import rank_replicas
 from repro.gdmp.replica_service import CatalogProxy
-from repro.gdmp.request_manager import (
-    GdmpError,
-    RemoteError,
-    RequestClient,
-    RequestTimeout,
-)
+from repro.gdmp.request_manager import GdmpError, RequestClient
 from repro.gdmp.server import GdmpServer
 from repro.gdmp.storage_manager import StorageManager
 from repro.netsim.topology import Topology
-from repro.services.bus import ConnectionReset, ServiceError
-from repro.services.resilience import CircuitOpenError
+from repro.services.bus import ServiceError
 from repro.services.tracelog import TraceLog
 from repro.simulation.kernel import Process, Simulator
 from repro.simulation.monitor import Monitor
@@ -307,48 +301,32 @@ class GdmpClient:
             # source ranking: preferred producer first if it has a replica,
             # then the cost-function order; failed sources are skipped
             # (§4.3's pluggable error recovery: alternate-replica failover)
-            locations = list(file_info.locations)
-            try:
-                candidates = [
-                    score.site
-                    for score in rank_replicas(
-                        self.topology, locations, self.site, file_info.size
-                    )
-                ]
-            except ValueError as exc:
-                raise GdmpError(str(exc)) from exc
-            if prefer_site is not None and prefer_site in candidates:
-                candidates.remove(prefer_site)
-                candidates.insert(0, prefer_site)
+            candidates = ranked_sources(
+                self.topology,
+                file_info.locations,
+                self.site,
+                file_info.size,
+                prefer_site=prefer_site,
+            )
 
-            failed: list[str] = []
-            last_error: Optional[Exception] = None
-            for source in candidates:
-                try:
-                    report, stage_wait, transfer_duration = yield self.sim.spawn(
+            def on_failover(_source, _error):
+                self.monitor.count("source_failovers")
+                if self.mover.metrics is not None:
+                    self.mover.metrics.counter(
+                        "gdmp.mover.failovers", site=self.site
+                    ).inc()
+
+            (report, stage_wait, transfer_duration), source, failed = (
+                yield from failover_walk(
+                    candidates,
+                    lambda source: self.sim.spawn(
                         attempt_from(source, file_info, local_path),
                         name=f"gdmp-attempt {lfn}@{source}",
-                    )
-                    break
-                except (
-                    DataMoverError,
-                    RemoteError,
-                    RequestTimeout,
-                    ConnectionReset,
-                    CircuitOpenError,
-                ) as exc:
-                    failed.append(source)
-                    last_error = exc
-                    self.monitor.count("source_failovers")
-                    if self.mover.metrics is not None:
-                        self.mover.metrics.counter(
-                            "gdmp.mover.failovers", site=self.site
-                        ).inc()
-            else:
-                raise GdmpError(
-                    f"all {len(candidates)} replica sources failed for "
-                    f"{lfn!r}: {last_error}"
-                ) from last_error
+                    ),
+                    describe=repr(lfn),
+                    on_failover=on_failover,
+                )
+            )
             # make the replica visible to the grid (a batched caller defers
             # this to one bulk registration at the transfer-set boundary)
             if register:

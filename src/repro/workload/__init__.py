@@ -1,0 +1,44 @@
+"""Claim-based workload engine: the replication path as a standing service.
+
+The one-shot :meth:`GdmpClient.replicate` pipeline becomes a stage in a
+long-lived data-management service: an open-loop arrival stream is
+admitted (fair-share + token bucket) into a leased task queue on the
+service bus, and standing picker/bundler/replicator/verifier components
+claim, execute and audit the work — the operational shape described in
+"Grid Data Management in Action", at the request volumes of the T0/T1
+replication simulation studies.
+"""
+
+from repro.workload.admission import FairShareAdmission, TokenBucket
+from repro.workload.arrivals import ArrivalGenerator, ArrivalProfile
+from repro.workload.components import (
+    Bundler,
+    Picker,
+    PipelineComponent,
+    Replicator,
+    Verifier,
+)
+from repro.workload.engine import WorkloadEngine
+from repro.workload.queue import (
+    Task,
+    TaskQueue,
+    TaskQueueProxy,
+    TaskQueueService,
+)
+
+__all__ = [
+    "ArrivalGenerator",
+    "ArrivalProfile",
+    "Bundler",
+    "FairShareAdmission",
+    "Picker",
+    "PipelineComponent",
+    "Replicator",
+    "Task",
+    "TaskQueue",
+    "TaskQueueProxy",
+    "TaskQueueService",
+    "TokenBucket",
+    "Verifier",
+    "WorkloadEngine",
+]

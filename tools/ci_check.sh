@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # CI gate: tier-1 tests, the determinism record, an engine microbench
 # smoke run, the telemetry exporter smoke gate, the chaos fault-injection
-# gate, and (when available) ruff.
+# gate, the workload standing-pipeline gate, and (when available) ruff.
 #
 #   tools/ci_check.sh
 #
@@ -44,6 +44,11 @@ python tools/perf_report.py --catalog --smoke --output - > /dev/null
 
 echo "== chaos: fault-injection convergence + determinism (smoke) =="
 python tools/chaos_smoke.py
+
+echo "== workload: standing-pipeline convergence + determinism (smoke) =="
+python tools/workload_smoke.py
+python benchmarks/bench_workload.py --smoke > /dev/null
+python tools/perf_report.py --workload --smoke --output - > /dev/null
 
 if command -v ruff > /dev/null 2>&1; then
     echo "== ruff =="

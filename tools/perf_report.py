@@ -21,6 +21,14 @@ replication scenario with the registry attached and detached
 instrumentation is event-driven and observational, so the overhead ratio
 should stay near 1.0; the record keeps that honest.
 
+``--workload`` measures the claim-based workload engine: one million
+generated requests (full mode) through fair-share admission, the token
+bucket, and the standing picker/bundler/replicator/verifier pipeline,
+plus a ``component_crash`` chaos leg that must converge exactly-once
+(see ``benchmarks/bench_workload.py``).  Written to
+``BENCH_workload.json`` and gated: the sustained requests/s rate must
+stay within ``WORKLOAD_REGRESSION_TOLERANCE`` of its recorded floor.
+
 ``--smoke`` runs shrunk scenarios and skips the figure sweeps (used by
 ``tools/ci_check.sh`` as a fast sanity gate; it does not overwrite the
 committed record unless ``--output`` says so).
@@ -95,6 +103,23 @@ FLOW_SCALE_REGRESSION_TOLERANCE = 0.20
 #: hard acceptance bound (ISSUE 6): the 10k-flow per-flow tick rate must
 #: stay within 10x of the 4-stream clean microbench, i.e. ratio >= 0.1
 FLOW_SCALE_MIN_RATIO = 0.1
+
+#: Recorded workload-engine baseline: conservative floors for the
+#: sustained generated-requests-per-wall-second rate of the claim-based
+#: standing pipeline (see ``benchmarks/bench_workload.py``).  The
+#: reference 1-CPU box measured ~700k req/s full / ~230k req/s smoke, so
+#: the 20% gate has honest headroom against timer noise while still
+#: catching the regression that matters: any layer of the count-based
+#: admission path (Poisson tick draws, multinomial category grid,
+#: multiplicity-map picks, keyed coalescing) degrading to per-request
+#: queue traffic collapses the rate by orders of magnitude.
+WORKLOAD_BASELINE = {
+    "recorded": True,
+    "full": {"requests_per_s": 250_000.0},
+    "smoke": {"requests_per_s": 80_000.0},
+}
+
+WORKLOAD_REGRESSION_TOLERANCE = 0.20
 
 
 def _median_wall(fn) -> float:
@@ -295,6 +320,52 @@ def build_flow_scale_report(smoke: bool = False) -> dict:
     }
 
 
+def build_workload_report(smoke: bool = False) -> dict:
+    """Measure the workload engine and assemble the gated record."""
+    import bench_workload
+
+    result = bench_workload.run_bench(smoke=smoke)
+    current = dict(result)
+    return {
+        "generated_by": "tools/perf_report.py --workload",
+        "protocol": {
+            "scenario": "EXP-WORKLOAD at a fixed seed: open-loop arrivals "
+                        "through fair-share admission and the token bucket "
+                        "into the claim-based standing pipeline "
+                        "(bench_workload.run_bench)",
+            "metric": "generated requests per wall second over the whole "
+                      "run (arrival generation through queue-terminal)",
+            "chaos": "a component_crash campaign leg must converge "
+                     "exactly-once before the rate is recorded",
+            "baseline": "recorded conservative floors; gate fails rates "
+                        f">{WORKLOAD_REGRESSION_TOLERANCE:.0%} below them",
+        },
+        "baseline": WORKLOAD_BASELINE,
+        "current": current,
+    }
+
+
+def check_workload_regressions(report: dict) -> list[str]:
+    """Gated workload metrics below their recorded floors."""
+    mode = report["current"]["mode"]
+    floors = report["baseline"].get(mode, {})
+    failures = []
+    for metric, floor in floors.items():
+        measured = report["current"].get(metric)
+        if measured is None:
+            failures.append(f"{metric}: missing from the current record")
+        elif measured < floor * (1.0 - WORKLOAD_REGRESSION_TOLERANCE):
+            failures.append(
+                f"{metric}: {measured:.0f} is >"
+                f"{WORKLOAD_REGRESSION_TOLERANCE:.0%} below the recorded "
+                f"baseline floor {floor:.0f}"
+            )
+    if not report["current"].get("chaos", {}).get("converged"):
+        failures.append("chaos leg: component_crash campaign did not "
+                        "converge")
+    return failures
+
+
 def check_flow_scale_regressions(report: dict) -> list[str]:
     """Gated flow-scale metrics below their floors (or the hard ratio)."""
     mode = report["current"]["mode"]
@@ -354,6 +425,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="measure the 10k-flow island scenario; merges "
                              "a flow_scale section into BENCH_netsim.json "
                              "and exits non-zero on a gated regression")
+    parser.add_argument("--workload", action="store_true",
+                        help="measure the claim-based workload engine "
+                             "(1M generated requests in full mode); writes "
+                             "BENCH_workload.json and exits non-zero on a "
+                             "gated regression")
     parser.add_argument("--output", type=Path, default=None,
                         help="where to write the JSON record "
                              "(default: BENCH_netsim.json / "
@@ -366,6 +442,8 @@ def main(argv: list[str] | None = None) -> int:
         report = build_telemetry_report(smoke=args.smoke)
     elif args.flow_scale:
         report = build_flow_scale_report(smoke=args.smoke)
+    elif args.workload:
+        report = build_workload_report(smoke=args.smoke)
     else:
         report = build_report(smoke=args.smoke)
     text = json.dumps(report, indent=2, sort_keys=True) + "\n"
@@ -379,6 +457,8 @@ def main(argv: list[str] | None = None) -> int:
             target = REPO_ROOT / "BENCH_catalog.json"
         elif args.telemetry:
             target = REPO_ROOT / "BENCH_telemetry.json"
+        elif args.workload:
+            target = REPO_ROOT / "BENCH_workload.json"
         elif args.flow_scale:
             # the flow-scale record rides in BENCH_netsim.json next to the
             # micro/figure record instead of claiming its own file
@@ -404,6 +484,20 @@ def main(argv: list[str] | None = None) -> int:
         print(f"  without registry: {current['without_registry_s']:.3f} s")
         print(f"  overhead ratio:   {current['overhead_ratio']:.2f}x")
         return 0
+    if args.workload:
+        current = report["current"]
+        print(f"  {current['requests']} requests in "
+              f"{current['wall_s']:.2f} s wall "
+              f"({current['sim_duration_s']:.0f} s simulated): "
+              f"{current['requests_per_s']:.0f} req/s")
+        print(f"  {current['queue_tasks']} queue tasks, "
+              f"{current['coalesced']} coalesced; chaos leg: "
+              f"{current['chaos']['component_crashes']} crashes, "
+              f"converged={current['chaos']['converged']}")
+        failures = check_workload_regressions(report)
+        for failure in failures:
+            print(f"REGRESSION: {failure}")
+        return 1 if failures else 0
     if args.flow_scale:
         current = report["current"]
         scale = current["flow_scale"]
