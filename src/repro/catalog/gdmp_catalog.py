@@ -44,17 +44,24 @@ class GdmpCatalog:
         self,
         catalog: Optional[ReplicaCatalog] = None,
         collection: str = "gdmp",
+        lfn_stem: str = "file",
     ):
         self.catalog = catalog or ReplicaCatalog()
         self.collection = collection
+        #: stem for auto-generated LFNs; sharded deployments give every
+        #: Local Replica Catalog a site-unique stem so names generated
+        #: independently at different sites can never collide.
+        self.lfn_stem = lfn_stem
         self._auto_lfn = itertools.count(1)
         # automatic creation of required entries
         if not self.catalog.collection_exists(collection):
             self.catalog.create_collection(collection)
 
     # -- namespace ------------------------------------------------------------
-    def generate_lfn(self, stem: str = "file") -> str:
+    def generate_lfn(self, stem: Optional[str] = None) -> str:
         """Automatic logical file name generation (collision-free)."""
+        if stem is None:
+            stem = self.lfn_stem
         while True:
             candidate = f"{stem}.{next(self._auto_lfn):06d}"
             if not self.lfn_exists(candidate):
@@ -174,6 +181,88 @@ class GdmpCatalog:
         self.register_site(site)
         self.catalog.add_filename_to_location(self.collection, site, lfn)
 
+    def adopt(
+        self,
+        lfn: str,
+        site: str,
+        size: float,
+        modified: float,
+        crc: int,
+        attributes: Optional[dict] = None,
+    ) -> None:
+        """Register a replica of a logical file this catalog may never
+        have seen, carrying the metadata along.
+
+        This is the write path of a sharded deployment: when a file born
+        at site A is replicated to site B, B's Local Replica Catalog has
+        no entry for the LFN, so a bare :meth:`add_replica` would fail.
+        ``adopt`` creates the logical-file entry on first contact and is
+        idempotent throughout (re-adoption updates nothing).
+        """
+        if size < 0:
+            raise CatalogError("size must be non-negative")
+        if not lfn or "/" in lfn or "," in lfn:
+            raise CatalogError(f"invalid logical file name {lfn!r}")
+        self.register_site(site)
+        if not self.lfn_exists(lfn):
+            self.catalog.add_filename_to_collection(self.collection, lfn)
+            self.catalog.create_logical_file_entry(
+                self.collection,
+                lfn,
+                {
+                    "size": f"{size:.0f}",
+                    "modified": f"{modified:.6f}",
+                    "crc": str(crc),
+                    **{k: str(v) for k, v in (attributes or {}).items()},
+                },
+            )
+        self.catalog.add_filename_to_location(self.collection, site, lfn)
+
+    def adopt_bulk(self, files: list[dict], site: str) -> None:
+        """Adopt a whole batch of foreign logical files at one site.
+
+        ``files`` items carry ``lfn``, ``size``, ``modified``, ``crc``
+        and optional ``attributes``; already-known LFNs only gain the
+        location record (idempotent, like :meth:`adopt`).
+        """
+        fresh: list[tuple[str, dict]] = []
+        seen: set[str] = set()
+        for item in files:
+            lfn = item["lfn"]
+            if item.get("size", 0) < 0:
+                raise CatalogError("size must be non-negative")
+            if not lfn or "/" in lfn or "," in lfn:
+                raise CatalogError(f"invalid logical file name {lfn!r}")
+            if lfn not in seen and not self.lfn_exists(lfn):
+                fresh.append((lfn, item))
+            seen.add(lfn)
+        self.register_site(site)
+        if fresh:
+            self.catalog.bulk_add_filenames_to_collection(
+                self.collection, [lfn for lfn, _ in fresh]
+            )
+            self.catalog.bulk_create_logical_file_entries(
+                self.collection,
+                (
+                    (
+                        lfn,
+                        {
+                            "size": f"{item.get('size', 0):.0f}",
+                            "modified": f"{item.get('modified', 0):.6f}",
+                            "crc": str(item.get("crc", 0)),
+                            **{
+                                k: str(v)
+                                for k, v in item.get("attributes", {}).items()
+                            },
+                        },
+                    )
+                    for lfn, item in fresh
+                ),
+            )
+        self.catalog.bulk_add_filenames_to_location(
+            self.collection, site, [item["lfn"] for item in files]
+        )
+
     def add_replicas(self, lfns: list[str], site: str) -> None:
         """Record that ``site`` now holds every LFN in the batch."""
         for lfn in lfns:
@@ -214,13 +303,20 @@ class GdmpCatalog:
             locations=tuple(self.locations(lfn)),
         )
 
-    def info_bulk(self, lfns: list[str]) -> list[LogicalFileInfo]:
+    def info_bulk(
+        self, lfns: list[str], missing_ok: bool = False
+    ) -> list[LogicalFileInfo]:
         """Metadata plus locations for a whole file set, in input order.
 
         Location membership for the entire batch is resolved in one pass
         over the location entries (see
         :meth:`~repro.catalog.replica_catalog.ReplicaCatalog.bulk_locations_of`).
+        With ``missing_ok`` unknown LFNs are silently skipped — the
+        speculative-probe mode sharded lookups use, where "not here" is
+        an answer rather than an error.
         """
+        if missing_ok:
+            lfns = [lfn for lfn in lfns if self.lfn_exists(lfn)]
         by_lfn = self.catalog.bulk_locations_of(self.collection, lfns)
         results = []
         for lfn in lfns:

@@ -20,6 +20,7 @@ gdmp      EXP-GDMP — end-to-end replication pipeline with failures
 staging   EXP-MSS — stage-on-demand cost
 chaos     EXP-CHAOS — fault-injection campaigns; recovery convergence
 workload  EXP-WORKLOAD — claim-based standing pipeline at request scale
+rls       EXP-RLS — two-tier replica location: sharded LRCs + bloom RLI
 ========  ==========================================================
 """
 
@@ -37,6 +38,7 @@ from repro.experiments import (  # noqa: F401
     object_vs_file,
     pipeline,
     remote_access,
+    rls,
     server_overhead,
     staging,
     tuning_claims,
@@ -61,6 +63,7 @@ EXPERIMENTS = {
     "remote-access": remote_access,
     "chaos": chaos,
     "workload": workload,
+    "rls": rls,
 }
 
 __all__ = ["EXPERIMENTS"]

@@ -15,7 +15,9 @@ Experiment parameters (likewise forwarded only where supported):
 
 * ``--seed=N`` — simulation seed (e.g. the chaos campaign schedule);
 * ``--campaign=NAME`` — fault class for the chaos/workload experiments;
-* ``--requests=N`` — arrival-stream size for the workload experiment.
+* ``--requests=N`` — arrival-stream size for the workload experiment;
+* ``--sites=N`` / ``--files=N`` — grid width and per-site file count for
+  the RLS experiment.
 """
 
 from __future__ import annotations
@@ -37,6 +39,8 @@ _VALUE_FLAGS = {
     "--seed=": ("seed", int),
     "--campaign=": ("campaign", str),
     "--requests=": ("requests", int),
+    "--sites=": ("sites", int),
+    "--files=": ("files", int),
 }
 
 

@@ -17,6 +17,7 @@ from repro.faults.campaign import (  # noqa: F401
     crash_restart_campaign,
     link_flap_campaign,
     mss_stall_campaign,
+    rli_blackhole_campaign,
 )
 from repro.faults.injector import FaultInjector  # noqa: F401
 
@@ -29,4 +30,5 @@ __all__ = [
     "crash_restart_campaign",
     "link_flap_campaign",
     "mss_stall_campaign",
+    "rli_blackhole_campaign",
 ]

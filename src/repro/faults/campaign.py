@@ -30,6 +30,7 @@ __all__ = [
     "mss_stall_campaign",
     "catalog_blackhole_campaign",
     "component_crash_campaign",
+    "rli_blackhole_campaign",
 ]
 
 #: every fault kind the injector knows how to apply
@@ -40,6 +41,8 @@ FAULT_KINDS = frozenset({
     "catalog_blackhole", "catalog_restore",      # catalog RPC black-hole
     "catalog_delay", "catalog_delay_clear",      # catalog RPC extra latency
     "component_crash", "component_restart",      # workload pipeline worker
+    "rli_blackhole", "rli_restore",              # whole-RLI black-hole window
+    "digest_loss", "digest_restore",             # drop digest pushes only
 })
 
 
@@ -246,3 +249,39 @@ def catalog_blackhole_campaign(
             round(at + length, 6), "catalog_delay_clear", catalog_host
         ))
     return FaultCampaign("catalog-blackhole", tuple(events))
+
+
+def rli_blackhole_campaign(
+    streams,
+    rli_host: str,
+    *,
+    windows: int = 2,
+    digest_loss_windows: int = 1,
+    start: float = 10.0,
+    spread: float = 90.0,
+    min_down: float = 20.0,
+    max_down: float = 60.0,
+) -> FaultCampaign:
+    """Break the Replica Location Index for random windows.
+
+    ``windows`` black-hole every ``rli.*`` operation at the index host —
+    digest pushes *and* lookups vanish, so readers time out on the index
+    and degrade to verify-on-use broadcasts over the LRCs.  On top,
+    ``digest_loss_windows`` drop only ``rli.push_digest`` traffic: the
+    index keeps answering lookups but its answers go stale, exercising
+    the verify-on-use false-hit path and the post-window convergence of
+    the soft-state digests (unacknowledged changes are re-pushed).
+    """
+    rng = streams["faults.rli_blackhole"]
+    events = _window_events(
+        rng, windows, [rli_host], "rli_blackhole", "rli_restore",
+        start=start, spread=spread,
+        min_down=min_down, max_down=max_down,
+    )
+    events.extend(_window_events(
+        rng, digest_loss_windows, [rli_host],
+        "digest_loss", "digest_restore",
+        start=start, spread=spread,
+        min_down=min_down, max_down=max_down,
+    ))
+    return FaultCampaign("rli-blackhole", tuple(events))

@@ -40,6 +40,10 @@ __all__ = ["FaultInjector"]
 
 #: operation prefix black-holed/delayed on the catalog host's gdmp service
 _CATALOG_PREFIX = "catalog."
+#: operation prefixes for the Replica Location Index faults: the whole
+#: index, or just its digest feed (lookups keep answering, stale)
+_RLI_PREFIX = "rli."
+_DIGEST_PREFIX = "rli.push_digest"
 
 
 class FaultInjector:
@@ -249,6 +253,62 @@ class FaultInjector:
             event.target, RequestServer.SERVICE, extra=0.0,
             prefix=_CATALOG_PREFIX,
         )
+
+    # -- replica location index --------------------------------------------------
+    def _require_rls(self, kind: str) -> None:
+        if getattr(self.grid, "rls", None) is None:
+            raise ValueError(
+                f"cannot apply {kind!r}: this grid has no replica "
+                "location service (build it with DataGrid(rls=...))"
+            )
+
+    def _apply_rli_blackhole(self, event: FaultEvent) -> None:
+        """Black-hole every ``rli.*`` operation at the index host: digest
+        pushes are lost (soft state — sources re-push after the window)
+        and lookups time out, degrading readers to verify-on-use
+        broadcasts over the LRCs."""
+        self._require_rls("rli_blackhole")
+        key = ("rli", event.target)
+        if self._bump(key, +1) > 1:
+            return
+        self.grid.msgnet.set_service_down(
+            event.target, RequestServer.SERVICE, True,
+            prefix=_RLI_PREFIX,
+        )
+        self._open_span(key, "fault:rli_blackhole")
+
+    def _apply_rli_restore(self, event: FaultEvent) -> None:
+        key = ("rli", event.target)
+        if self._bump(key, -1) == 0:
+            self.grid.msgnet.set_service_down(
+                event.target, RequestServer.SERVICE, False,
+                prefix=_RLI_PREFIX,
+            )
+            self._close_span(key)
+
+    def _apply_digest_loss(self, event: FaultEvent) -> None:
+        """Drop only the digest feed (``rli.push_digest``): the index
+        keeps serving lookups, but its answers go stale — the
+        verify-on-use path must absorb the drift until the window closes
+        and the re-pushed digests converge the index."""
+        self._require_rls("digest_loss")
+        key = ("digest", event.target)
+        if self._bump(key, +1) > 1:
+            return
+        self.grid.msgnet.set_service_down(
+            event.target, RequestServer.SERVICE, True,
+            prefix=_DIGEST_PREFIX,
+        )
+        self._open_span(key, "fault:digest_loss")
+
+    def _apply_digest_restore(self, event: FaultEvent) -> None:
+        key = ("digest", event.target)
+        if self._bump(key, -1) == 0:
+            self.grid.msgnet.set_service_down(
+                event.target, RequestServer.SERVICE, False,
+                prefix=_DIGEST_PREFIX,
+            )
+            self._close_span(key)
 
     # -- workload pipeline components -------------------------------------------
     def _workload_component(self, name: str):

@@ -30,6 +30,10 @@ from repro.netsim.link import Link
 from repro.netsim.topology import Host, Topology
 from repro.netsim.units import mbps
 from repro.objectdb.federation import Federation
+from repro.rls.digest import DigestSource, ReplicaLocationIndex
+from repro.rls.rli import RliService
+from repro.rls.router import RlsCatalogProxy
+from repro.rls.runtime import DigestPusher, RlsConfig, RlsRuntime
 from repro.security.ca import CertificateAuthority
 from repro.security.credentials import new_user_credential
 from repro.security.gridmap import GridMap
@@ -90,6 +94,7 @@ class DataGrid:
         params: Optional[TestbedParams] = None,
         seed: int = 2001,
         metrics: bool = True,
+        rls: Optional[RlsConfig] = None,
     ):
         if site_configs is None:
             site_configs = [GdmpConfig("cern"), GdmpConfig("anl")]
@@ -143,13 +148,22 @@ class DataGrid:
 
         for config in site_configs:
             self._build_site(config)
-        # the central catalog lives at catalog_host's request server
-        self.catalog_backend = GdmpCatalog()
-        self.catalog_service = ReplicaCatalogService(
-            self.sites[self.catalog_host].request_server,
-            self.catalog_backend,
-            metrics=self.metrics,
-        )
+        if rls is None:
+            # the central catalog lives at catalog_host's request server
+            self.catalog_backend = GdmpCatalog()
+            self.catalog_service = ReplicaCatalogService(
+                self.sites[self.catalog_host].request_server,
+                self.catalog_backend,
+                metrics=self.metrics,
+            )
+            #: the assembled RlsRuntime in sharded mode, else None
+            self.rls: Optional[RlsRuntime] = None
+        else:
+            # sharded mode: no central catalog — one LRC per site plus
+            # the RLI at (by default) the old catalog host
+            self.catalog_backend = None
+            self.catalog_service = None
+            self.rls = self._build_rls(rls)
         for site in self.sites.values():
             self._finish_site(site)
         #: the active ResilienceConfig once enable_resilience() has run
@@ -237,8 +251,59 @@ class DataGrid:
             server=server,
         )
 
+    def _build_rls(self, config: RlsConfig) -> RlsRuntime:
+        """Assemble the two-tier replica location service: one LRC per
+        site behind the site's own ``catalog.*`` endpoint, the RLI on
+        the index host, and one digest-pusher standing process per site
+        (spawned by ``grid.rls.start()``, not here, so fault-free event
+        schedules stay untouched until an experiment opts in)."""
+        rli_host = config.rli_host or self.catalog_host
+        if rli_host not in self.sites:
+            raise ValueError(f"RLI host {rli_host!r} is not a site")
+        rli_service = RliService(
+            self.sites[rli_host].request_server,
+            ReplicaLocationIndex(self.sites),
+            metrics=self.metrics,
+        )
+        runtime = RlsRuntime(config, rli_host, rli_service)
+        n_sites = len(self.sites)
+        for i, (name, site) in enumerate(self.sites.items()):
+            backend = GdmpCatalog(lfn_stem=f"{name}.file")
+            service = ReplicaCatalogService(
+                site.request_server, backend, metrics=self.metrics
+            )
+            source = DigestSource(name, backend.list_lfns, config.digest)
+            service.write_listeners.append(source.on_write)
+            phase = (
+                i * config.digest.period / n_sites if config.stagger else 0.0
+            )
+            pusher = DigestPusher(
+                self.sim,
+                site.request_client,
+                rli_host,
+                source,
+                phase=phase,
+                metrics=self.metrics,
+            )
+            runtime.backends[name] = backend
+            runtime.services[name] = service
+            runtime.sources[name] = source
+            runtime.pushers[name] = pusher
+        return runtime
+
     def _finish_site(self, site: GdmpSite) -> None:
-        catalog_proxy = CatalogProxy(site.request_client, self.catalog_host)
+        if self.rls is not None:
+            catalog_proxy = RlsCatalogProxy(
+                site.request_client,
+                site.name,
+                self.rls.rli_host,
+                {name: name for name in self.sites},
+                cache=self.rls.config.cache,
+                lookup_timeout=self.rls.config.lookup_timeout,
+                metrics=self.metrics,
+            )
+        else:
+            catalog_proxy = CatalogProxy(site.request_client, self.catalog_host)
         site.client = GdmpClient(
             self.sim,
             site.name,
@@ -324,9 +389,37 @@ class DataGrid:
                     registry.gauge(
                         f"catalog.proxy.{key}", site=name
                     ).set(value)
-        directory = self.catalog_backend.catalog.directory
-        for key, value in sorted(directory.stats.items()):
-            registry.gauge("catalog.ldap." + key).set(value)
+        if self.catalog_backend is not None:
+            directory = self.catalog_backend.catalog.directory
+            for key, value in sorted(directory.stats.items()):
+                registry.gauge("catalog.ldap." + key).set(value)
+        if self.rls is not None:
+            for name, backend in self.rls.backends.items():
+                directory = backend.catalog.directory
+                for key, value in sorted(directory.stats.items()):
+                    registry.gauge("catalog.ldap." + key, site=name).set(value)
+            for key, value in sorted(self.rls.index.stats.items()):
+                registry.gauge("rls.rli." + key).set(value)
+            for site, state in self.rls.index.states.items():
+                registry.gauge("rls.rli.generation", site=site).set(
+                    state.generation
+                )
+                registry.gauge("rls.rli.entry_count", site=site).set(
+                    state.entry_count
+                )
+                if state.bloom is not None:
+                    registry.gauge("rls.rli.bloom_bytes", site=site).set(
+                        state.bloom.size_bytes
+                    )
+            for site, staleness in self.rls.index.staleness(
+                self.sim.now
+            ).items():
+                registry.gauge("rls.rli.staleness_seconds", site=site).set(
+                    staleness
+                )
+            for site, pusher in self.rls.pushers.items():
+                for key, value in sorted(pusher.stats.items()):
+                    registry.gauge(f"rls.pusher.{key}", site=site).set(value)
 
     def health_report(self, top_n: int = 10) -> str:
         """The rendered grid health report (metrics + trace summary)."""

@@ -36,6 +36,7 @@ from repro.gdmp.request_manager import (
     REQUEST_MESSAGE_SIZE,
     AuthenticatedRequest,
     GdmpError,
+    RemoteError,
     RequestClient,
     RequestServer,
 )
@@ -79,6 +80,8 @@ class ReplicaCatalogService:
             "publish_bulk",
             "add_replica",
             "add_replica_bulk",
+            "adopt",
+            "adopt_bulk",
             "remove_replica",
             "remove_replica_bulk",
             "locations",
@@ -196,6 +199,46 @@ class ReplicaCatalogService:
         return True
         yield  # pragma: no cover
 
+    def _op_adopt(self, request: AuthenticatedRequest):
+        p = request.payload
+        txn, seen = self._txn_seen(p)
+        if seen:
+            return self._applied[txn]
+        try:
+            self.catalog.adopt(
+                p["lfn"],
+                p["site"],
+                size=p["size"],
+                modified=p["modified"],
+                crc=p["crc"],
+                attributes=p.get("attributes"),
+            )
+        except CatalogError as exc:
+            raise GdmpError(str(exc)) from exc
+        if txn is not None:
+            self._applied[txn] = True
+        self._notify_write("adopt", self._without_txn(p))
+        return True
+        yield  # pragma: no cover
+
+    def _op_adopt_bulk(self, request: AuthenticatedRequest):
+        p = request.payload
+        txn, seen = self._txn_seen(p)
+        if seen:
+            return self._applied[txn]
+        self._observe_batch("adopt", len(p["files"]))
+        try:
+            self.catalog.adopt_bulk(list(p["files"]), p["site"])
+        except CatalogError as exc:
+            raise GdmpError(str(exc)) from exc
+        if txn is not None:
+            self._applied[txn] = True
+        notified = self._without_txn(p)
+        notified["lfns"] = [item["lfn"] for item in p["files"]]
+        self._notify_write("adopt_bulk", notified)
+        return True
+        yield  # pragma: no cover
+
     def _op_remove_replica(self, request: AuthenticatedRequest):
         p = request.payload
         txn, seen = self._txn_seen(p)
@@ -246,7 +289,10 @@ class ReplicaCatalogService:
     def _op_info_bulk(self, request: AuthenticatedRequest):
         self._observe_batch("info", len(request.payload["lfns"]))
         try:
-            return self.catalog.info_bulk(list(request.payload["lfns"]))
+            return self.catalog.info_bulk(
+                list(request.payload["lfns"]),
+                missing_ok=request.payload.get("missing_ok", False),
+            )
         except CatalogError as exc:
             raise GdmpError(str(exc)) from exc
         yield  # pragma: no cover
@@ -271,10 +317,26 @@ class ReplicaCatalogService:
         yield  # pragma: no cover
 
 
+class _NegativeEntry:
+    """Cached proof of absence: the remote application error an ``info``
+    lookup produced for an unknown LFN.  Served back without an RPC
+    until a write to that LFN invalidates it."""
+
+    __slots__ = ("error",)
+
+    def __init__(self, error: RemoteError) -> None:
+        self.error = error
+
+
 class CatalogProxy:
     """Site-side view of the central catalog.  Every method returns a
     :class:`Process` (a network round trip to the catalog host — or an
-    immediate local completion on a location-cache hit)."""
+    immediate local completion on a location-cache hit).
+
+    Negative lookups are cached too: an ``info`` miss (unknown LFN) and a
+    ``lfn_exists`` answer are remembered until a write to that LFN
+    invalidates them, so repeated probes for absent files — which the
+    RLI lookup path amplifies — cost no envelopes."""
 
     def __init__(
         self,
@@ -293,6 +355,7 @@ class CatalogProxy:
         self.stats = {
             "cache_hits": 0,
             "cache_misses": 0,
+            "negative_hits": 0,
             "envelopes": 0,
             "failure_invalidations": 0,
         }
@@ -323,6 +386,11 @@ class CatalogProxy:
                     payload,
                     size=REQUEST_MESSAGE_SIZE + BULK_ITEM_SIZE * n_items,
                 )
+            except RemoteError:
+                # The server processed the request and answered with an
+                # application fault: the host is healthy and cached
+                # entries are still trustworthy.
+                raise
             except Exception:
                 # A failed catalog RPC means the catalog host (or the path
                 # to it) is suspect: a cached answer must not outlive the
@@ -345,6 +413,15 @@ class CatalogProxy:
             yield  # pragma: no cover - generator marker
 
         return self.client.sim.spawn(hit(), name="catalog-cache-hit")
+
+    def _immediate_error(self, error: Exception) -> Process:
+        """A completed-at-now process re-raising a cached negative answer."""
+
+        def hit():
+            raise error
+            yield  # pragma: no cover - generator marker
+
+        return self.client.sim.spawn(hit(), name="catalog-negative-hit")
 
     def _cache_get(self, key: tuple[str, str]):
         if not self.cache_enabled:
@@ -371,6 +448,7 @@ class CatalogProxy:
         else:
             self._cache.pop(("info", lfn), None)
             self._cache.pop(("locations", lfn), None)
+            self._cache.pop(("exists", lfn), None)
 
     # -- writes (always to the primary; invalidate on completion) -----------------
     def publish(
@@ -509,11 +587,22 @@ class CatalogProxy:
     def info(self, lfn: str) -> Process:
         """Metadata and locations of a logical file."""
         cached = self._cache_get(("info", lfn))
+        if isinstance(cached, _NegativeEntry):
+            self.stats["negative_hits"] += 1
+            return self._immediate_error(cached.error)
         if cached is not None:
             return self._immediate(cached)
 
         def run():
-            result = yield self._call(self.read_host, "catalog.info", {"lfn": lfn})
+            try:
+                result = yield self._call(
+                    self.read_host, "catalog.info", {"lfn": lfn}
+                )
+            except RemoteError as exc:
+                # An application-level "unknown logical file" is a stable
+                # answer until someone publishes it: cache the absence.
+                self._cache_put(("info", lfn), _NegativeEntry(exc))
+                raise
             if isinstance(result, LogicalFileInfo):
                 self._cache_put(("info", lfn), result)
             return result
@@ -531,9 +620,11 @@ class CatalogProxy:
             missing = []
             for lfn in lfns:
                 cached = self._cache_get(("info", lfn))
-                if cached is not None:
+                if cached is not None and not isinstance(cached, _NegativeEntry):
                     known[lfn] = cached
                 else:
+                    # negative entries re-probe: the bulk contract raises
+                    # for unknown LFNs, so let the server say so
                     missing.append(lfn)
             if missing:
                 fetched = yield self._call(
@@ -581,8 +672,21 @@ class CatalogProxy:
         return self._call(self.read_host, "catalog.site_files", {"site": site})
 
     def lfn_exists(self, lfn: str) -> Process:
-        """Whether the logical file name is taken."""
-        return self._call(self.read_host, "catalog.lfn_exists", {"lfn": lfn})
+        """Whether the logical file name is taken (both answers cached)."""
+        cached = self._cache_get(("exists", lfn))
+        if cached is not None:
+            if cached is False:
+                self.stats["negative_hits"] += 1
+            return self._immediate(cached)
+
+        def run():
+            result = yield self._call(
+                self.read_host, "catalog.lfn_exists", {"lfn": lfn}
+            )
+            self._cache_put(("exists", lfn), bool(result))
+            return result
+
+        return self.client.sim.spawn(run(), name=f"catalog-lfn-exists {lfn}")
 
     def list_lfns(self) -> Process:
         """Every logical file name in the catalog."""

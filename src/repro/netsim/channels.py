@@ -19,11 +19,6 @@ from repro.simulation.resources import Store
 
 __all__ = ["Envelope", "Mailbox", "MessageNetwork"]
 
-#: sentinel distinguishing "no black-hole fault" from "black-hole all
-#: operations" (stored prefix ``None``).
-_NO_FAULT = object()
-
-
 @dataclass(frozen=True)
 class Envelope:
     """A delivered message.
@@ -77,7 +72,12 @@ class MessageNetwork:
         self._mailboxes: dict[tuple[str, str], Mailbox] = {}
         self._down_hosts: set[str] = set()
         self._down_links: set[str] = set()
-        self._blackholed: dict[tuple[str, str], Optional[str]] = {}
+        #: (host, service) -> set of black-holed operation prefixes; the
+        #: element ``None`` means the whole service.  A set, not a single
+        #: prefix, so independent faults (say ``catalog.`` and ``rli.``
+        #: black-holes on one host) can overlap without clobbering each
+        #: other.
+        self._blackholed: dict[tuple[str, str], set[Optional[str]]] = {}
         self._service_delays: dict[tuple[str, str], tuple[float, Optional[str]]] = {}
         self.dropped_messages = 0
 
@@ -131,13 +131,23 @@ class MessageNetwork:
         replies) are dropped at delivery time.  With ``prefix``, only
         requests whose operation name starts with it are dropped — e.g.
         ``prefix="catalog."`` black-holes catalog RPCs while leaving the
-        host's other operations answerable."""
+        host's other operations answerable.  Prefix faults are independent:
+        raising and clearing ``prefix="rli."`` leaves a concurrent
+        ``prefix="catalog."`` black-hole in place.  Clearing with
+        ``prefix=None`` clears every fault on the endpoint."""
         name = host.name if isinstance(host, Host) else host
         self.lookup(name, service)  # validate
+        key = (name, service)
         if down:
-            self._blackholed[(name, service)] = prefix
+            self._blackholed.setdefault(key, set()).add(prefix)
+        elif prefix is None:
+            self._blackholed.pop(key, None)
         else:
-            self._blackholed.pop((name, service), None)
+            prefixes = self._blackholed.get(key)
+            if prefixes is not None:
+                prefixes.discard(prefix)
+                if not prefixes:
+                    del self._blackholed[key]
 
     def set_service_delay(
         self,
@@ -234,9 +244,10 @@ class MessageNetwork:
                     self.dropped_messages += 1
                     return  # lost on a partitioned link
             if self._blackholed:
-                prefix = self._blackholed.get((dst_name, service), _NO_FAULT)
-                if prefix is not _NO_FAULT and self._operation_matches(
-                    payload, prefix
+                prefixes = self._blackholed.get((dst_name, service))
+                if prefixes is not None and any(
+                    self._operation_matches(payload, prefix)
+                    for prefix in prefixes
                 ):
                     self.dropped_messages += 1
                     return  # black-holed at the endpoint

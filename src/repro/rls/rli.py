@@ -1,0 +1,98 @@
+"""The Replica Location Index as a bus service.
+
+:class:`RliService` hosts a :class:`~repro.rls.digest.ReplicaLocationIndex`
+behind ``rli.*`` operations on an existing GDMP request server (the same
+endpoint pattern the per-site ``catalog.*`` LRCs and the ``task.*`` queue
+use):
+
+* ``rli.push_digest`` — a site pushes a full or delta digest; the reply
+  acknowledges the generation so the source can clear its pending sets.
+* ``rli.lookup`` / ``rli.lookup_bulk`` — "which sites *might* hold LFN
+  X?".  Answers may be stale or contain bloom false positives; callers
+  must verify at the candidate LRCs (the router does).
+* ``rli.stats`` — digest/lookup counters for telemetry scrapes.
+
+Because every ``rli.*`` operation shares the GDMP service endpoint,
+fault campaigns can black-hole the whole index (prefix ``rli.``) or
+just the digest feed (prefix ``rli.push_digest``, leaving lookups
+serving increasingly stale answers) without touching co-hosted
+``catalog.*`` or ``task.*`` traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..gdmp.request_manager import AuthenticatedRequest, RequestServer
+from .digest import ReplicaLocationIndex
+
+__all__ = ["RliService", "RLI_OP_PREFIX", "RLI_PUSH_PREFIX"]
+
+#: operation prefix covering the whole index (blackhole target)
+RLI_OP_PREFIX = "rli."
+#: operation prefix covering only the digest feed (digest-loss target)
+RLI_PUSH_PREFIX = "rli.push_digest"
+
+
+class RliService:
+    """Hosts the Replica Location Index behind ``rli.*`` operations."""
+
+    def __init__(
+        self,
+        server: RequestServer,
+        index: Optional[ReplicaLocationIndex] = None,
+        metrics=None,
+    ) -> None:
+        self.server = server
+        self.sim = server.sim
+        self.index = index if index is not None else ReplicaLocationIndex()
+        self.metrics = metrics
+        for op in ("push_digest", "lookup", "lookup_bulk", "stats"):
+            server.register(f"rli.{op}", getattr(self, f"_op_{op}"))
+
+    # Handlers are generators (the request manager spawns them); the
+    # index itself is in-memory and immediate.
+
+    def _op_push_digest(self, request: AuthenticatedRequest):
+        payload = request.payload
+        applied = self.index.apply(payload, self.sim.now)
+        if self.metrics is not None:
+            self.metrics.counter(
+                "rls.rli.digests", kind=payload["kind"],
+                outcome="applied" if applied else "stale",
+            ).inc()
+        return {
+            "applied": applied,
+            "generation": self.index.states[payload["site"]].generation,
+        }
+        yield  # pragma: no cover - marks this function as a generator
+
+    def _op_lookup(self, request: AuthenticatedRequest):
+        lfn = request.payload["lfn"]
+        return self.index.candidate_sites(lfn)
+        yield  # pragma: no cover - marks this function as a generator
+
+    def _op_lookup_bulk(self, request: AuthenticatedRequest):
+        lfns = request.payload["lfns"]
+        return {lfn: self.index.candidate_sites(lfn) for lfn in lfns}
+        yield  # pragma: no cover - marks this function as a generator
+
+    def _op_stats(self, request: AuthenticatedRequest):
+        return {
+            "stats": dict(self.index.stats),
+            "sites": {
+                site: {
+                    "generation": state.generation,
+                    "entry_count": state.entry_count,
+                    "updated_at": state.updated_at,
+                    "overlay_added": len(state.added),
+                    "overlay_removed": len(state.removed),
+                    "bloom_bytes": (
+                        state.bloom.size_bytes if state.bloom is not None else 0
+                    ),
+                }
+                for site, state in self.index.states.items()
+            },
+            "staleness": self.index.staleness(self.sim.now),
+        }
+        yield  # pragma: no cover - marks this function as a generator

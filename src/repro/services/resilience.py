@@ -150,7 +150,8 @@ class _BreakerState:
 
 
 class CircuitBreakerMiddleware:
-    """Per-server-host circuit breaker: closed → open → half-open.
+    """Per-(server-host, endpoint) circuit breaker: closed → open →
+    half-open.
 
     ``failure_threshold`` consecutive retryable failures open the circuit;
     while open, calls are refused locally with :class:`CircuitOpenError`
@@ -160,8 +161,14 @@ class CircuitBreakerMiddleware:
     retryable) neither trip nor reset the breaker's failure count — a
     server answering "no such file" is healthy.
 
-    Exposes ``breaker.state{service,server}`` as a gauge (0 closed,
-    1 half-open, 2 open) and counts opens/refusals.
+    Breaker state is tracked per *endpoint* on a host, where the endpoint
+    is the operation's family prefix (``catalog.info`` → ``catalog``,
+    ``rli.lookup`` → ``rli``): hosts run several daemons, and a wedged
+    replica-location index must not refuse calls to the healthy local
+    replica catalog sharing its host.
+
+    Exposes ``breaker.state{service,server,endpoint}`` as a gauge
+    (0 closed, 1 half-open, 2 open) and counts opens/refusals.
     """
 
     def __init__(self, failure_threshold: int = 5, cooldown: float = 30.0,
@@ -172,15 +179,31 @@ class CircuitBreakerMiddleware:
         self.cooldown = cooldown
         self.metrics = metrics
         self.service = service
-        self._servers: dict[str, _BreakerState] = {}
+        self._servers: dict[tuple[str, str], _BreakerState] = {}
 
-    def state_of(self, server_host: str) -> str:
-        """Current breaker state for a server ("closed" when unseen)."""
-        st = self._servers.get(server_host)
-        return st.state if st is not None else "closed"
+    @staticmethod
+    def _endpoint(operation: str) -> str:
+        """The daemon-level operation family (prefix before the dot)."""
+        return operation.split(".", 1)[0]
 
-    def _transition(self, st: _BreakerState, server: str, to: str,
-                    now: float) -> None:
+    def state_of(self, server_host: str, endpoint: str | None = None) -> str:
+        """Current breaker state for a server's endpoint ("closed" when
+        unseen).  Without ``endpoint``, the worst state across every
+        endpoint seen on that host."""
+        if endpoint is not None:
+            st = self._servers.get((server_host, endpoint))
+            return st.state if st is not None else "closed"
+        states = [
+            st.state for (host, _), st in self._servers.items()
+            if host == server_host
+        ]
+        for worst in ("open", "half-open"):
+            if worst in states:
+                return worst
+        return "closed"
+
+    def _transition(self, st: _BreakerState, server: str, endpoint: str,
+                    to: str, now: float) -> None:
         st.state = to
         if to == "open":
             st.opened_at = now
@@ -191,18 +214,22 @@ class CircuitBreakerMiddleware:
         if self.metrics is not None:
             self.metrics.gauge(
                 "breaker.state", service=self.service, server=server,
+                endpoint=endpoint,
             ).set(_STATE_VALUE[to])
             self.metrics.counter(
                 "breaker.transitions",
-                service=self.service, server=server, to=to,
+                service=self.service, server=server, endpoint=endpoint,
+                to=to,
             ).inc()
 
     def __call__(self, call: ClientCall, call_next):
         sim = call.sim
         server = call.server_host
-        st = self._servers.get(server)
+        endpoint = self._endpoint(call.operation)
+        key = (server, endpoint)
+        st = self._servers.get(key)
         if st is None:
-            st = self._servers[server] = _BreakerState()
+            st = self._servers[key] = _BreakerState()
         if st.state == "open":
             elapsed = sim.now - st.opened_at
             if elapsed < self.cooldown:
@@ -211,11 +238,12 @@ class CircuitBreakerMiddleware:
                     self.metrics.counter(
                         "breaker.refusals",
                         service=self.service, server=server,
+                        endpoint=endpoint,
                     ).inc()
                 raise CircuitOpenError(
                     call.operation, server, self.cooldown - elapsed
                 )
-            self._transition(st, server, "half-open", sim.now)
+            self._transition(st, server, endpoint, "half-open", sim.now)
         if st.state == "half-open" and st.probing:
             # one probe at a time: concurrent calls are refused until the
             # in-flight probe settles the circuit one way or the other
@@ -235,13 +263,13 @@ class CircuitBreakerMiddleware:
                     st.state == "half-open"
                     or st.failures >= self.failure_threshold
                 ):
-                    self._transition(st, server, "open", sim.now)
+                    self._transition(st, server, endpoint, "open", sim.now)
             raise
         if probing:
             st.probing = False
         st.failures = 0
         if st.state != "closed":
-            self._transition(st, server, "closed", sim.now)
+            self._transition(st, server, endpoint, "closed", sim.now)
         return outcome
 
 

@@ -1,0 +1,31 @@
+import pytest
+
+from repro.gdmp import DataGrid, GdmpConfig
+from repro.rls import DigestConfig, RlsConfig
+
+#: short cadence so tests converge in a handful of simulated seconds
+FAST_DIGESTS = DigestConfig(period=5.0, full_every=4)
+
+
+@pytest.fixture
+def rls_grid():
+    """Three-site sharded grid; the RLI rides on cern's host."""
+    return DataGrid(
+        [GdmpConfig("cern"), GdmpConfig("anl"), GdmpConfig("caltech")],
+        catalog_host="cern",
+        rls=RlsConfig(digest=FAST_DIGESTS, lookup_timeout=10.0),
+    )
+
+
+def publish(grid, site_name, lfn, size=1_000_000, crc=7):
+    """Register a logical file at a site's own LRC (metadata only)."""
+    proxy = grid.site(site_name).client.catalog
+    return grid.run(
+        until=proxy.publish(site_name, size, grid.sim.now, crc, lfn=lfn)
+    )
+
+
+def converge(grid, periods=5.0):
+    """Run long enough for every pusher to complete a full refresh."""
+    grid.rls.start()
+    grid.run(until=grid.sim.timeout(FAST_DIGESTS.period * periods))

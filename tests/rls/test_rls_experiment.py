@@ -1,0 +1,29 @@
+"""EXP-RLS smoke: the gate experiment converges at test scale."""
+
+from repro.experiments import rls
+
+
+def test_exp_rls_smoke_converges():
+    result = rls.run(
+        sites=3, files_per_site=6, lookups_per_site=3,
+        replicas_per_site=1, seed=2001,
+    )
+    assert result.converged, result.errors
+    assert result.phantom_answers == 0
+    assert result.exact_lookups == result.lookups
+    assert result.replicas_made == 3
+    assert result.staleness_window <= result.staleness_bound
+    assert result.digest_compression > 1.0
+    assert result.fingerprint
+
+
+def test_exp_rls_campaign_reports_degradation():
+    result = rls.run(
+        sites=3, files_per_site=6, lookups_per_site=3,
+        replicas_per_site=1, seed=2001, campaign="rli_blackhole",
+    )
+    assert result.converged, result.errors
+    assert result.faults_injected > 0
+    assert result.no_active_faults
+    assert result.rli_unavailable > 0 or result.fallback_broadcasts > 0
+    assert result.phantom_answers == 0

@@ -1,0 +1,150 @@
+"""Two-tier routing behaviour: verify-on-use, fallbacks, caching."""
+
+import pytest
+
+from repro.gdmp.request_manager import RemoteError
+from repro.rls.digest import DigestConfig, DigestSource
+
+from .conftest import FAST_DIGESTS, converge, publish
+
+
+def proxy_of(grid, site):
+    return grid.site(site).client.catalog
+
+
+def test_pre_digest_lookup_falls_back_to_broadcast(rls_grid):
+    """Before any digest reaches the index, a cross-site lookup still
+    answers — the empty candidate set widens to a full broadcast."""
+    grid = rls_grid
+    publish(grid, "anl", "fresh.dat")
+    reader = proxy_of(grid, "cern")
+    info = grid.run(until=reader.info("fresh.dat"))
+    assert {loc["location"] for loc in info.locations} == {"anl"}
+    assert reader.stats["fallback_broadcasts"] >= 1
+    assert reader.stats["rli_lookups"] >= 1  # index answered, just empty
+
+
+def test_converged_lookup_routes_through_index(rls_grid):
+    grid = rls_grid
+    publish(grid, "anl", "routed.dat")
+    converge(grid)
+    assert grid.rls.index.candidate_sites("routed.dat") == ["anl"]
+    reader = proxy_of(grid, "caltech")
+    broadcasts_before = reader.stats["fallback_broadcasts"]
+    info = grid.run(until=reader.info("routed.dat"))
+    assert {loc["location"] for loc in info.locations} == {"anl"}
+    assert reader.stats["fallback_broadcasts"] == broadcasts_before
+    # probes: own site (miss) + the one candidate
+    assert reader.stats["verify_misses"] >= 1
+
+
+def test_false_positive_candidate_is_verified_not_trusted(rls_grid):
+    """A crafted digest makes the index claim anl holds a ghost file;
+    the router must verify at the LRC and answer 'not found' — stale
+    or false-positive index state costs probes, never phantoms."""
+    grid = rls_grid
+    ghost = "ghost.dat"
+    source = DigestSource(
+        "anl", lambda: [ghost], DigestConfig(period=5.0)
+    )
+    payload = source.next_digest()
+    payload["generation"] = grid.rls.index.states["anl"].generation + 1
+    assert grid.rls.index.apply(payload, now=grid.sim.now)
+    assert "anl" in grid.rls.index.candidate_sites(ghost)
+
+    reader = proxy_of(grid, "cern")
+    with pytest.raises(RemoteError):
+        grid.run(until=reader.info(ghost))
+    assert reader.stats["verify_misses"] >= 1
+    assert grid.run(until=reader.lfn_exists(ghost)) is False
+
+
+def test_stale_index_racing_concurrent_delete(rls_grid):
+    """The last replica is removed after the index learned of it; a
+    lookup in the staleness window verify-misses and answers not-found."""
+    grid = rls_grid
+    publish(grid, "anl", "doomed.dat")
+    converge(grid)
+    owner = proxy_of(grid, "anl")
+    grid.run(until=owner.remove_replica("doomed.dat", "anl"))
+    # the index has not yet seen the removal delta
+    assert grid.rls.index.candidate_sites("doomed.dat") == ["anl"]
+    assert grid.rls.holders("doomed.dat") == []
+
+    reader = proxy_of(grid, "cern")
+    misses_before = reader.stats["verify_misses"]
+    with pytest.raises(RemoteError):
+        grid.run(until=reader.info("doomed.dat"))
+    assert reader.stats["verify_misses"] > misses_before
+    # the removal digest eventually retires the stale entry
+    grid.run(until=grid.sim.timeout(FAST_DIGESTS.period * 5))
+    assert grid.rls.index.candidate_sites("doomed.dat") == []
+
+
+def test_negative_cache_and_invalidation_on_publish(rls_grid):
+    """Repeat misses are served from the negative cache; publishing the
+    LFN later invalidates it so the new file is immediately visible."""
+    grid = rls_grid
+    reader = proxy_of(grid, "cern")
+    with pytest.raises(RemoteError):
+        grid.run(until=reader.info("later.dat"))
+    with pytest.raises(RemoteError):
+        grid.run(until=reader.info("later.dat"))
+    assert grid.run(until=reader.lfn_exists("later.dat")) is False
+    assert reader.stats["negative_hits"] >= 2
+
+    # cern itself publishes: its proxy's publish path invalidates the
+    # negative entry on completion
+    publish(grid, "cern", "later.dat")
+    info = grid.run(until=reader.info("later.dat"))
+    assert {loc["location"] for loc in info.locations} == {"cern"}
+
+
+def test_dead_lrc_degrades_to_remaining_sites(rls_grid):
+    """With one site's host down, lookups for files elsewhere still
+    answer; the dead shard costs a counted failure, not an error."""
+    grid = rls_grid
+    publish(grid, "anl", "survivor.dat")
+    publish(grid, "caltech", "survivor-2.dat")
+    converge(grid)
+    grid.msgnet.set_host_down("caltech", True)
+
+    reader = proxy_of(grid, "anl")
+    info = grid.run(until=reader.info("survivor.dat"))
+    assert {loc["location"] for loc in info.locations} == {"anl"}
+
+    # a file only the dead site holds is (correctly) unanswerable
+    failures_before = reader.stats["lrc_failures"]
+    with pytest.raises(RemoteError):
+        grid.run(until=reader.info("survivor-2.dat"))
+    assert reader.stats["lrc_failures"] > failures_before
+
+    grid.msgnet.set_host_down("caltech", False)
+    reader.invalidate("survivor-2.dat")
+    info = grid.run(until=reader.info("survivor-2.dat"))
+    assert {loc["location"] for loc in info.locations} == {"caltech"}
+
+
+def test_explicit_publish_rejects_grid_wide_duplicate(rls_grid):
+    grid = rls_grid
+    publish(grid, "anl", "unique.dat")
+    converge(grid)
+    with pytest.raises(RemoteError):
+        publish(grid, "cern", "unique.dat")
+
+
+def test_replication_adopts_metadata_at_destination(rls_grid):
+    """add_replica at a site that never saw the file adopts it into the
+    local LRC, metadata included, and the next digest advertises it."""
+    grid = rls_grid
+    publish(grid, "anl", "spread.dat", size=123_456, crc=99)
+    converge(grid)
+    dest = proxy_of(grid, "cern")
+    grid.run(until=dest.add_replica("spread.dat", "cern"))
+    assert dest.stats["adoptions"] == 1
+    backend = grid.rls.backends["cern"]
+    assert backend.lfn_exists("spread.dat")
+    assert backend.info("spread.dat").crc == 99
+    assert sorted(grid.rls.holders("spread.dat")) == ["anl", "cern"]
+    grid.run(until=grid.sim.timeout(FAST_DIGESTS.period * 5))
+    assert grid.rls.index.candidate_sites("spread.dat") == ["cern", "anl"]

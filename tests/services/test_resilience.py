@@ -226,6 +226,28 @@ def test_breaker_is_per_server():
     assert _drive(sim, breaker(_call(sim, server="b"), healthy)) == "pong"
 
 
+def test_breaker_is_per_endpoint_on_one_host():
+    """A host runs several daemons behind one bus: a wedged RLI must
+    not refuse calls to the healthy co-located catalog service."""
+    sim = Simulator()
+    breaker = CircuitBreakerMiddleware(failure_threshold=2, cooldown=30.0)
+    _tripping_breaker(sim, breaker, _call(sim, operation="rli.lookup"), 2)
+    assert breaker.state_of("srv", "rli") == "open"
+    assert breaker.state_of("srv", "catalog") == "closed"
+    assert breaker.state_of("srv") == "open"  # worst state across the host
+
+    def healthy(call):
+        return "pong"
+        yield  # pragma: no cover - generator marker
+
+    assert (
+        _drive(sim, breaker(_call(sim, operation="catalog.info"), healthy))
+        == "pong"
+    )
+    with pytest.raises(CircuitOpenError):
+        _drive(sim, breaker(_call(sim, operation="rli.lookup"), healthy))
+
+
 def test_application_faults_do_not_trip_the_breaker():
     sim = Simulator()
     breaker = CircuitBreakerMiddleware(failure_threshold=2, cooldown=30.0)

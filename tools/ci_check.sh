@@ -50,6 +50,11 @@ python tools/workload_smoke.py
 python benchmarks/bench_workload.py --smoke > /dev/null
 python tools/perf_report.py --workload --smoke --output - > /dev/null
 
+echo "== rls: two-tier location convergence + determinism (smoke) =="
+python tools/rls_smoke.py
+python benchmarks/bench_rls.py --smoke > /dev/null
+python tools/perf_report.py --rls --smoke --output - > /dev/null
+
 if command -v ruff > /dev/null 2>&1; then
     echo "== ruff =="
     ruff check src tests benchmarks tools
