@@ -21,6 +21,7 @@ staging   EXP-MSS — stage-on-demand cost
 chaos     EXP-CHAOS — fault-injection campaigns; recovery convergence
 workload  EXP-WORKLOAD — claim-based standing pipeline at request scale
 rls       EXP-RLS — two-tier replica location: sharded LRCs + bloom RLI
+weather   EXP-WEATHER — history-based selection vs probes, tiered grid
 ========  ==========================================================
 """
 
@@ -42,6 +43,7 @@ from repro.experiments import (  # noqa: F401
     server_overhead,
     staging,
     tuning_claims,
+    weather,
     workload,
 )
 
@@ -64,6 +66,7 @@ EXPERIMENTS = {
     "chaos": chaos,
     "workload": workload,
     "rls": rls,
+    "weather": weather,
 }
 
 __all__ = ["EXPERIMENTS"]

@@ -18,6 +18,7 @@ from repro.faults.campaign import (  # noqa: F401
     link_flap_campaign,
     mss_stall_campaign,
     rli_blackhole_campaign,
+    weather_blackhole_campaign,
 )
 from repro.faults.injector import FaultInjector  # noqa: F401
 
@@ -31,4 +32,5 @@ __all__ = [
     "link_flap_campaign",
     "mss_stall_campaign",
     "rli_blackhole_campaign",
+    "weather_blackhole_campaign",
 ]

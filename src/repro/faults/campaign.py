@@ -31,6 +31,7 @@ __all__ = [
     "catalog_blackhole_campaign",
     "component_crash_campaign",
     "rli_blackhole_campaign",
+    "weather_blackhole_campaign",
 ]
 
 #: every fault kind the injector knows how to apply
@@ -43,6 +44,7 @@ FAULT_KINDS = frozenset({
     "component_crash", "component_restart",      # workload pipeline worker
     "rli_blackhole", "rli_restore",              # whole-RLI black-hole window
     "digest_loss", "digest_restore",             # drop digest pushes only
+    "weather_blackhole", "weather_restore",      # weather-plane black-hole
 })
 
 
@@ -285,3 +287,36 @@ def rli_blackhole_campaign(
         min_down=min_down, max_down=max_down,
     ))
     return FaultCampaign("rli-blackhole", tuple(events))
+
+
+def weather_blackhole_campaign(
+    streams,
+    weather_host: str,
+    *,
+    windows: int = 2,
+    start: float = 10.0,
+    spread: float = 90.0,
+    min_down: float = 30.0,
+    max_down: float = 90.0,
+) -> FaultCampaign:
+    """Black-hole the grid weather plane for random windows.
+
+    Every ``weather.*`` operation vanishes grid-wide — forecast pushes
+    never land and ``weather.report`` pulls time out — so the per-site
+    forecast caches silently age past the staleness horizon and replica
+    selection degrades to the instantaneous-probe ladder (never worse
+    than the pre-observatory selector).  The restore lets the next
+    pushed digests reconverge selection onto history.  Windows default
+    *longer* than the other black-holes because the degradation only
+    shows once the staleness horizon has elapsed.
+    """
+    rng = streams["faults.weather_blackhole"]
+    return FaultCampaign(
+        "weather-blackhole",
+        tuple(_window_events(
+            rng, windows, [weather_host],
+            "weather_blackhole", "weather_restore",
+            start=start, spread=spread,
+            min_down=min_down, max_down=max_down,
+        )),
+    )

@@ -44,6 +44,8 @@ _CATALOG_PREFIX = "catalog."
 #: index, or just its digest feed (lookups keep answering, stale)
 _RLI_PREFIX = "rli."
 _DIGEST_PREFIX = "rli.push_digest"
+#: operation prefix for the grid weather plane (forecast pushes + pulls)
+_WEATHER_PREFIX = "weather."
 
 
 class FaultInjector:
@@ -308,6 +310,42 @@ class FaultInjector:
                 event.target, RequestServer.SERVICE, False,
                 prefix=_DIGEST_PREFIX,
             )
+            self._close_span(key)
+
+    # -- grid weather plane ------------------------------------------------------
+    def _require_weather(self, kind: str) -> None:
+        if getattr(self.grid, "weather", None) is None:
+            raise ValueError(
+                f"cannot apply {kind!r}: this grid has no weather "
+                "service (build it with DataGrid(weather=...))"
+            )
+
+    def _apply_weather_blackhole(self, event: FaultEvent) -> None:
+        """Black-hole every ``weather.*`` operation grid-wide: forecast
+        pushes are dropped at every subscriber and ``weather.report``
+        pulls vanish at the station, modelling an observatory outage.
+        Site caches silently age past the staleness horizon and replica
+        selection degrades to the probe ladder; nothing retries — the
+        first pushes after the restore reconverge it (soft state)."""
+        self._require_weather("weather_blackhole")
+        key = ("weather", event.target)
+        if self._bump(key, +1) > 1:
+            return
+        for name in sorted(self.grid.sites):
+            self.grid.msgnet.set_service_down(
+                name, RequestServer.SERVICE, True,
+                prefix=_WEATHER_PREFIX,
+            )
+        self._open_span(key, "fault:weather_blackhole")
+
+    def _apply_weather_restore(self, event: FaultEvent) -> None:
+        key = ("weather", event.target)
+        if self._bump(key, -1) == 0:
+            for name in sorted(self.grid.sites):
+                self.grid.msgnet.set_service_down(
+                    name, RequestServer.SERVICE, False,
+                    prefix=_WEATHER_PREFIX,
+                )
             self._close_span(key)
 
     # -- workload pipeline components -------------------------------------------

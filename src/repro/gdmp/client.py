@@ -92,6 +92,10 @@ class GdmpClient:
         self.plugins = plugins or PluginRegistry()
         self.site_runtime = site_runtime  # GdmpSite, for plugin hooks
         self.tracelog = tracelog
+        #: this site's :class:`~repro.observatory.station.SiteWeather`
+        #: forecast cache when the grid runs the weather service (wired
+        #: by DataGrid); None keeps ranking on the pure-probe path
+        self.weather = None
         self.monitor = Monitor()
         self._replicating: set[str] = set()
         server.client = self
@@ -307,6 +311,7 @@ class GdmpClient:
                 self.site,
                 file_info.size,
                 prefer_site=prefer_site,
+                weather=self.weather,
             )
 
             def on_failover(_source, _error):

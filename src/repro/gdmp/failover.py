@@ -54,19 +54,24 @@ def ranked_sources(
     dst_site: str,
     size: float,
     prefer_site: Optional[str] = None,
+    weather=None,
 ) -> list[str]:
     """Candidate source sites for a replica fetch, best first.
 
     Sources are ordered by the §4.2 cost function (measured RTT plus
-    size over available bandwidth); ``prefer_site`` — typically the
-    producer that announced the file — is promoted to the front when it
-    holds a replica.  Raises :class:`GdmpError` when no usable source
-    exists (no replicas, or only the destination itself).
+    size over available bandwidth), upgraded to history-blended
+    forecasts when a ``weather`` site cache is wired in; ``prefer_site``
+    — typically the producer that announced the file — is promoted to
+    the front when it holds a replica.  Raises :class:`GdmpError` when
+    no usable source exists (no replicas, or only the destination
+    itself).
     """
     try:
         candidates = [
             score.site
-            for score in rank_replicas(topology, list(locations), dst_site, size)
+            for score in rank_replicas(
+                topology, list(locations), dst_site, size, weather=weather
+            )
         ]
     except ValueError as exc:
         raise GdmpError(str(exc)) from exc

@@ -30,6 +30,13 @@ from repro.netsim.link import Link
 from repro.netsim.topology import Host, Topology
 from repro.netsim.units import mbps
 from repro.objectdb.federation import Federation
+from repro.observatory.service import (
+    ForecastPusher,
+    WeatherRuntime,
+    WeatherService,
+    WeatherSubscriber,
+)
+from repro.observatory.station import SiteWeather, WeatherConfig, WeatherStation
 from repro.rls.digest import DigestSource, ReplicaLocationIndex
 from repro.rls.rli import RliService
 from repro.rls.router import RlsCatalogProxy
@@ -95,6 +102,8 @@ class DataGrid:
         seed: int = 2001,
         metrics: bool = True,
         rls: Optional[RlsConfig] = None,
+        weather: Optional[WeatherConfig] = None,
+        wan_links: Optional[list] = None,
     ):
         if site_configs is None:
             site_configs = [GdmpConfig("cern"), GdmpConfig("anl")]
@@ -124,22 +133,31 @@ class DataGrid:
         self.gridmap = GridMap()
         self.sites: dict[str, GdmpSite] = {}
 
-        # full mesh of identical WAN links (the §6 testbed characteristics)
         for name in names:
             self.topology.add_host(Host(name))
-        for i, a in enumerate(names):
-            for b in names[i + 1 :]:
+        if wan_links is None:
+            # full mesh of identical WAN links (§6 testbed characteristics)
+            for i, a in enumerate(names):
+                for b in names[i + 1 :]:
+                    self.topology.connect(
+                        a,
+                        b,
+                        Link(
+                            name=f"wan-{a}-{b}",
+                            capacity=mbps(self.params.capacity_mbps),
+                            delay=self.params.rtt / 2.0,
+                            queue_capacity=self.params.queue_capacity,
+                            cross_traffic=mbps(self.params.cross_traffic_mbps),
+                            loss_rate=self.params.loss_rate,
+                        ),
+                    )
+        else:
+            # explicit topology (tiered T0/T1/T2 trees, asymmetric paths):
+            # (site_a, site_b, link) or (site_a, site_b, link, reverse)
+            for spec in wan_links:
+                a, b, link, *rest = spec
                 self.topology.connect(
-                    a,
-                    b,
-                    Link(
-                        name=f"wan-{a}-{b}",
-                        capacity=mbps(self.params.capacity_mbps),
-                        delay=self.params.rtt / 2.0,
-                        queue_capacity=self.params.queue_capacity,
-                        cross_traffic=mbps(self.params.cross_traffic_mbps),
-                        loss_rate=self.params.loss_rate,
-                    ),
+                    a, b, link, reverse=rest[0] if rest else None
                 )
         self.engine = NetworkEngine(
             self.sim, self.topology, seed=seed, metrics=self.metrics
@@ -164,6 +182,10 @@ class DataGrid:
             self.catalog_backend = None
             self.catalog_service = None
             self.rls = self._build_rls(rls)
+        #: the assembled WeatherRuntime when the observatory is on, else None
+        self.weather: Optional[WeatherRuntime] = None
+        if weather is not None:
+            self.weather = self._build_weather(weather)
         for site in self.sites.values():
             self._finish_site(site)
         #: the active ResilienceConfig once enable_resilience() has run
@@ -291,6 +313,48 @@ class DataGrid:
             runtime.pushers[name] = pusher
         return runtime
 
+    def _build_weather(self, config: WeatherConfig) -> WeatherRuntime:
+        """Assemble the grid weather service: the station on the weather
+        host fed by the flow engine's transfer-retirement hook, one
+        ``weather.push_digest`` subscriber + site forecast cache per
+        site, and one forecast-pusher standing process per site (spawned
+        by ``grid.weather.start()``, not here, so fault-free event
+        schedules stay untouched until an experiment opts in)."""
+        weather_host = config.weather_host or self.catalog_host
+        if weather_host not in self.sites:
+            raise ValueError(f"weather host {weather_host!r} is not a site")
+        station = WeatherStation(config, self.sim, topology=self.topology)
+        service = WeatherService(
+            self.sites[weather_host].request_server, station,
+            metrics=self.metrics,
+        )
+        runtime = WeatherRuntime(config, weather_host, station, service)
+        # the observation feed: every retired transfer (drained or
+        # aborted) becomes one history sample at the station
+        self.engine.transfer_observers.append(station.on_transfer)
+        n_sites = len(self.sites)
+        for i, (name, site) in enumerate(self.sites.items()):
+            site_weather = SiteWeather(name, config, self.sim)
+            subscriber = WeatherSubscriber(
+                site.request_server, site_weather, metrics=self.metrics
+            )
+            phase = (
+                i * config.push_period / n_sites if config.stagger else 0.0
+            )
+            pusher = ForecastPusher(
+                self.sim,
+                self.sites[weather_host].request_client,
+                station,
+                name,
+                name,
+                phase=phase,
+                metrics=self.metrics,
+            )
+            runtime.site_weather[name] = site_weather
+            runtime.subscribers[name] = subscriber
+            runtime.pushers[name] = pusher
+        return runtime
+
     def _finish_site(self, site: GdmpSite) -> None:
         if self.rls is not None:
             catalog_proxy = RlsCatalogProxy(
@@ -318,6 +382,8 @@ class DataGrid:
             site_runtime=site,
             tracelog=self.tracelog,
         )
+        if self.weather is not None:
+            site.client.weather = self.weather.site_weather[site.name]
 
     # -- recovery policies ---------------------------------------------------------
     def enable_resilience(
@@ -420,6 +486,46 @@ class DataGrid:
             for site, pusher in self.rls.pushers.items():
                 for key, value in sorted(pusher.stats.items()):
                     registry.gauge(f"rls.pusher.{key}", site=site).set(value)
+        if self.weather is not None:
+            station = self.weather.station
+            now = self.sim.now
+            registry.gauge("weather.station.pairs").set(len(station.pairs))
+            for key, value in sorted(station.stats.items()):
+                registry.gauge(f"weather.station.{key}").set(value)
+            for (src, dst), history in sorted(station.pairs.items()):
+                if history.samples == 0:
+                    continue
+                labels = {"src": src, "dst": dst}
+                registry.gauge(
+                    "weather.pair.throughput", **labels
+                ).set(history.ewma.value or 0.0)
+                registry.gauge(
+                    "weather.pair.samples", **labels
+                ).set(history.samples)
+                registry.gauge(
+                    "weather.pair.failures", **labels
+                ).set(history.failures)
+                registry.gauge(
+                    "weather.pair.staleness_seconds", **labels
+                ).set(history.staleness(now))
+                registry.gauge(
+                    "weather.pair.confidence", **labels
+                ).set(history.confidence(now))
+                congestion = station.congestion(src, dst)
+                if congestion is not None:
+                    registry.gauge(
+                        "weather.pair.congestion", **labels
+                    ).set(congestion)
+            for site, pusher in self.weather.pushers.items():
+                for key, value in sorted(pusher.stats.items()):
+                    registry.gauge(
+                        f"weather.pusher.{key}", site=site
+                    ).set(value)
+            for site, cache in self.weather.site_weather.items():
+                for key, value in sorted(cache.stats.items()):
+                    registry.gauge(
+                        f"weather.site.{key}", site=site
+                    ).set(value)
 
     def health_report(self, top_n: int = 10) -> str:
         """The rendered grid health report (metrics + trace summary)."""

@@ -1,21 +1,38 @@
-"""Replica selection by cost function.
+"""Replica selection by cost function, history-first.
 
 §4.2: "This information can then be used as a basis for replica selection
 based on cost functions, which is part of planned future work.  (See
-[VTF01] for some early ideas.)"  We implement that future work: candidate
-replicas are scored by estimated transfer time — measured RTT (ping) plus
-size over measured available bandwidth (pipechar) — and the cheapest
-source wins.
+[VTF01] for some early ideas.)"  We implement that future work twice
+over.  The base cost function scores a candidate source by instantaneous
+probes — measured RTT (``ping``) plus size over measured available
+bandwidth (``pipechar``) — along the *transfer* direction ``src -> dst``
+(probing the reverse path would price the wrong pipe on an asymmetric
+route).  On top of it sits the [VTF01] refinement: when a
+:class:`~repro.observatory.station.SiteWeather` cache is wired in, the
+predicted time from observed transfer *history* is blended with the
+probe estimate in proportion to the forecast's confidence.
+
+The fallback ladder, per candidate:
+
+1. fresh, confident history -> forecast dominates the estimate;
+2. fresh but thin history   -> forecast and probe blend by confidence;
+3. stale or missing history -> pure probe (exactly the old behaviour);
+4. unroutable               -> not a candidate at all.
+
+With ``weather=None`` every code path reduces to rung 3, so grids that
+never opt in rank bit-identically to the pre-observatory selector.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.netsim.tools import ping, pipechar
 from repro.netsim.topology import RouteError, Topology
 
-__all__ = ["ReplicaScore", "choose_replica", "estimate_transfer_time"]
+__all__ = ["ReplicaScore", "choose_replica", "estimate_transfer_time",
+           "rank_replicas"]
 
 #: Control-channel overhead charged per transfer (connect + auth + commands).
 SETUP_ROUND_TRIPS = 5
@@ -29,20 +46,64 @@ class ReplicaScore:
     rtt: float
     available_bandwidth: float
     estimated_time: float
+    #: what priced the estimate: "probe" (instantaneous tools only) or
+    #: "history" (an observatory forecast contributed)
+    basis: str = "probe"
+    #: the forecast's confidence in [0, 1] (0.0 on the pure-probe path)
+    confidence: float = 0.0
+    #: predicted achieved throughput from history (None without history)
+    predicted_throughput: Optional[float] = None
 
 
 def estimate_transfer_time(
-    topology: Topology, src: str, dst: str, size: float
+    topology: Topology,
+    src: str,
+    dst: str,
+    size: float,
+    weather=None,
 ) -> ReplicaScore:
-    """Predicted wall-clock time to move ``size`` bytes from ``src``."""
-    rtt = ping(topology, dst, src).rtt
-    bandwidth = pipechar(topology, dst, src).available_bandwidth
-    estimated = SETUP_ROUND_TRIPS * rtt + size / bandwidth
+    """Predicted wall-clock time to move ``size`` bytes ``src -> dst``.
+
+    Probes run along the transfer direction.  When ``weather`` (a
+    :class:`~repro.observatory.station.SiteWeather`) holds a fresh,
+    confident forecast for the pair, the history-predicted time is
+    blended with the probe time by confidence; otherwise the probe
+    estimate stands alone.
+    """
+    rtt = ping(topology, src, dst).rtt
+    bandwidth = pipechar(topology, src, dst).available_bandwidth
+    probe_time = SETUP_ROUND_TRIPS * rtt + size / bandwidth
+    if weather is None:
+        return ReplicaScore(
+            site=src,
+            rtt=rtt,
+            available_bandwidth=bandwidth,
+            estimated_time=probe_time,
+        )
+    forecast = weather.predict(src, dst, size)
+    if (
+        forecast is None
+        or forecast.throughput <= 0.0
+        or forecast.confidence < weather.config.min_confidence
+    ):
+        return ReplicaScore(
+            site=src,
+            rtt=rtt,
+            available_bandwidth=bandwidth,
+            estimated_time=probe_time,
+        )
+    setup_rtt = forecast.rtt if forecast.rtt is not None else rtt
+    history_time = SETUP_ROUND_TRIPS * setup_rtt + size / forecast.throughput
+    confidence = min(1.0, forecast.confidence)
+    blended = confidence * history_time + (1.0 - confidence) * probe_time
     return ReplicaScore(
         site=src,
         rtt=rtt,
         available_bandwidth=bandwidth,
-        estimated_time=estimated,
+        estimated_time=blended,
+        basis="history",
+        confidence=confidence,
+        predicted_throughput=forecast.throughput,
     )
 
 
@@ -51,6 +112,7 @@ def rank_replicas(
     locations: list[dict],
     dst_site: str,
     size: float,
+    weather=None,
 ) -> list[ReplicaScore]:
     """All usable sources among catalog ``locations``, cheapest first.
 
@@ -63,11 +125,20 @@ def rank_replicas(
         if site == dst_site:
             continue
         try:
-            scores.append(estimate_transfer_time(topology, site, dst_site, size))
+            scores.append(
+                estimate_transfer_time(
+                    topology, site, dst_site, size, weather=weather
+                )
+            )
         except (RouteError, KeyError):
             continue  # unreachable replica: not a candidate
     if not scores:
         raise ValueError(f"no usable replica source for destination {dst_site!r}")
+    if weather is not None:
+        # provenance accounting: did history or the probe ladder rank this?
+        weather.note_selection(
+            "history" if any(s.basis == "history" for s in scores) else "probe"
+        )
     return sorted(scores, key=lambda s: s.estimated_time)
 
 
@@ -76,6 +147,8 @@ def choose_replica(
     locations: list[dict],
     dst_site: str,
     size: float,
+    weather=None,
 ) -> ReplicaScore:
     """The cheapest reachable source (head of :func:`rank_replicas`)."""
-    return rank_replicas(topology, locations, dst_site, size)[0]
+    return rank_replicas(topology, locations, dst_site, size,
+                         weather=weather)[0]

@@ -410,6 +410,12 @@ class NetworkEngine:
                 metrics.gauge(
                     "netsim.link.cross_traffic", link=link.name
                 ).set(link.cross_traffic)
+        #: transfer-retirement observers: callables invoked once per pool
+        #: as ``fn(src, dst, nbytes, started_at, completed_at, ok)`` when
+        #: a transfer drains (ok=True, nbytes=pool size) or is cancelled
+        #: (ok=False, nbytes=bytes actually delivered).  Observers must be
+        #: purely observational — the weather station's feed.
+        self.transfer_observers: list = []
         self._flows: list[Flow] = []
         self._running = False
         self._process = None
@@ -590,6 +596,17 @@ class NetworkEngine:
             self.metrics.counter("netsim.transfers_aborted").inc()
             for f in cancelled:
                 self._record_flow_retired(f)
+        if self.transfer_observers and cancelled:
+            first = cancelled[0]
+            for observe in self.transfer_observers:
+                observe(
+                    first.src.name,
+                    first.dst.name,
+                    pool._delivered,
+                    pool.started_at,
+                    pool.completed_at,
+                    False,
+                )
         pool.done.fail(TransferAborted(pool._delivered, reason))
 
     def _record_flow_retired(self, f: Flow) -> None:
@@ -747,6 +764,23 @@ class NetworkEngine:
         if metrics is not None:
             for f in retired:
                 self._record_flow_retired(f)
+        if self.transfer_observers:
+            pool_ends: dict[int, tuple[str, str]] = {}
+            for f in retired:
+                pool_ends.setdefault(id(f.pool), (f.src.name, f.dst.name))
+            for pool in finished_pools:
+                ends = pool_ends.get(id(pool))
+                if ends is None:
+                    continue
+                for observe in self.transfer_observers:
+                    observe(
+                        ends[0],
+                        ends[1],
+                        pool.size,
+                        pool.started_at,
+                        pool.completed_at,
+                        True,
+                    )
         for pool in finished_pools:
             self.monitor.count("transfers_completed")
             self.monitor.count("bytes_delivered", pool.size)

@@ -1,9 +1,14 @@
 """Grid topology: hosts (sites) connected by links, with routing.
 
-A :class:`Topology` is an undirected multigraph of named hosts; each edge
-carries a :class:`~repro.netsim.link.Link`.  Routing picks the
-minimum-propagation-delay path (networkx Dijkstra), matching the static
-routing of the paper's testbed.
+A :class:`Topology` is a directed graph of named hosts; each directed
+edge carries a :class:`~repro.netsim.link.Link`.  :meth:`Topology.connect`
+installs both directions at once — over the *same* link object by
+default (the symmetric wide-area circuit every existing builder
+assumes), or over a distinct ``reverse`` link for asymmetric paths
+(ADSL-style tails, saturated uplinks) so that the forward and return
+directions can differ in capacity, delay, and cross-traffic.  Routing
+picks the minimum-propagation-delay path per direction (networkx
+Dijkstra), matching the static routing of the paper's testbed.
 """
 
 from __future__ import annotations
@@ -50,8 +55,9 @@ class Topology:
     """Named hosts and the links between them."""
 
     def __init__(self) -> None:
-        self._graph = nx.Graph()
+        self._graph = nx.DiGraph()
         self._hosts: dict[str, Host] = {}
+        self._links: list[Link] = []
         self._route_cache: dict[tuple[str, str], list[Link]] = {}
 
     # -- construction ------------------------------------------------------
@@ -65,16 +71,31 @@ class Topology:
         self._graph.add_node(host.name)
         return host
 
-    def connect(self, a: Host | str, b: Host | str, link: Link) -> Link:
-        """Join two hosts with a link."""
+    def connect(
+        self,
+        a: Host | str,
+        b: Host | str,
+        link: Link,
+        reverse: Link | None = None,
+    ) -> Link:
+        """Join two hosts.  ``a -> b`` traffic rides ``link``; ``b -> a``
+        traffic rides ``reverse`` when given, else the same ``link`` (the
+        symmetric circuit the paper's testbed assumes)."""
         name_a = a.name if isinstance(a, Host) else a
         name_b = b.name if isinstance(b, Host) else b
         for name in (name_a, name_b):
             if name not in self._hosts:
                 raise KeyError(f"unknown host {name!r}")
-        if self._graph.has_edge(name_a, name_b):
+        if self._graph.has_edge(name_a, name_b) or self._graph.has_edge(
+            name_b, name_a
+        ):
             raise ValueError(f"hosts {name_a!r} and {name_b!r} already connected")
+        back = reverse if reverse is not None else link
         self._graph.add_edge(name_a, name_b, link=link, weight=link.delay)
+        self._graph.add_edge(name_b, name_a, link=back, weight=back.delay)
+        self._links.append(link)
+        if back is not link:
+            self._links.append(back)
         self._route_cache.clear()
         return link
 
@@ -92,7 +113,9 @@ class Topology:
 
     @property
     def links(self) -> tuple[Link, ...]:
-        return tuple(data["link"] for _, _, data in self._graph.edges(data=True))
+        """Every distinct link, in connection order (a symmetric pair's
+        shared link appears once)."""
+        return tuple(self._links)
 
     # -- routing -----------------------------------------------------------
     def route(self, src: Host | str, dst: Host | str) -> list[Link]:
@@ -121,8 +144,11 @@ class Topology:
         return list(cached)
 
     def base_rtt(self, src: Host | str, dst: Host | str) -> float:
-        """Round-trip propagation delay along the route (no queueing)."""
-        return 2.0 * sum(link.delay for link in self.route(src, dst))
+        """Round-trip propagation delay (no queueing): the forward route
+        out plus the — possibly asymmetric — return route back."""
+        return sum(link.delay for link in self.route(src, dst)) + sum(
+            link.delay for link in self.route(dst, src)
+        )
 
     def bottleneck(self, src: Host | str, dst: Host | str) -> Link:
         """The minimum-capacity link on the route."""

@@ -1,0 +1,279 @@
+"""The grid weather service on the bus, and its forecast push plane.
+
+:class:`WeatherService` hosts the :class:`~repro.observatory.station.
+WeatherStation` behind ``weather.*`` operations on the weather host's
+existing GDMP request server (the endpoint pattern every other control
+plane here uses):
+
+* ``weather.report`` — pull one site's current inbound forecast digest
+  (experiments and tools use this to probe availability; selection
+  never does — it reads the pushed site cache synchronously).
+* ``weather.push_digest`` — registered on every *subscriber* site's
+  server; the station's pushers deliver forecast digests here.
+* ``weather.stats`` — observation counters for telemetry scrapes.
+
+Because all ``weather.*`` operations share the GDMP service endpoint,
+fault campaigns can black-hole the whole weather plane with the prefix
+``weather.`` (the ``weather_blackhole`` fault kind) without touching
+co-hosted ``catalog.*``/``task.*``/``rli.*`` traffic — pushes are then
+lost, site caches age past the staleness horizon, and replica selection
+silently degrades to the probe ladder until the restore reconverges it.
+
+:class:`ForecastPusher` mirrors the RLS :class:`~repro.rls.runtime.
+DigestPusher` soft-state discipline: one standing process per
+subscriber, staggered phases, lost pushes just folded into the next
+period (each digest is a full snapshot, so nothing needs replaying).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..gdmp.request_manager import (
+    REQUEST_MESSAGE_SIZE,
+    AuthenticatedRequest,
+    RequestClient,
+    RequestServer,
+)
+from ..simulation.kernel import Interrupt, Process, Simulator
+from .station import SiteWeather, WeatherConfig, WeatherStation
+
+__all__ = [
+    "WEATHER_OP_PREFIX",
+    "WeatherService",
+    "WeatherSubscriber",
+    "ForecastPusher",
+    "WeatherRuntime",
+    "forecast_wire_size",
+]
+
+#: operation prefix covering the whole weather plane (blackhole target)
+WEATHER_OP_PREFIX = "weather."
+
+#: modelled wire cost of one per-source forecast entry (bins + scalars)
+_ENTRY_WIRE_BYTES = 96
+_DIGEST_HEADER_BYTES = 64
+
+
+def forecast_wire_size(payload: dict) -> int:
+    """Modelled wire size of a forecast digest, in bytes."""
+    return _DIGEST_HEADER_BYTES + _ENTRY_WIRE_BYTES * len(payload["sources"])
+
+
+class WeatherService:
+    """Hosts the weather station behind ``weather.*`` operations."""
+
+    def __init__(
+        self,
+        server: RequestServer,
+        station: WeatherStation,
+        metrics=None,
+    ) -> None:
+        self.server = server
+        self.sim = server.sim
+        self.station = station
+        self.metrics = metrics
+        for op in ("report", "stats"):
+            server.register(f"weather.{op}", getattr(self, f"_op_{op}"))
+
+    # Handlers are generators (the request manager spawns them); the
+    # station itself is in-memory and immediate.
+
+    def _op_report(self, request: AuthenticatedRequest):
+        site = request.payload["site"]
+        if self.metrics is not None:
+            self.metrics.counter("weather.reports", site=site).inc()
+        return self.station.digest_for(site, self.sim.now)
+        yield  # pragma: no cover - marks this function as a generator
+
+    def _op_stats(self, request: AuthenticatedRequest):
+        return {
+            "pairs": len(self.station.pairs),
+            **self.station.stats,
+        }
+        yield  # pragma: no cover - marks this function as a generator
+
+
+class WeatherSubscriber:
+    """One site's ``weather.push_digest`` receiver feeding its cache."""
+
+    def __init__(
+        self,
+        server: RequestServer,
+        site_weather: SiteWeather,
+        metrics=None,
+    ) -> None:
+        self.server = server
+        self.site_weather = site_weather
+        self.metrics = metrics
+        server.register("weather.push_digest", self._op_push_digest)
+
+    def _op_push_digest(self, request: AuthenticatedRequest):
+        applied = self.site_weather.apply_digest(request.payload)
+        if self.metrics is not None:
+            self.metrics.counter(
+                "weather.digests", site=self.site_weather.site,
+                outcome="applied" if applied else "stale",
+            ).inc()
+        return {"applied": applied}
+        yield  # pragma: no cover - marks this function as a generator
+
+
+class ForecastPusher:
+    """Standing process pushing forecast digests to one subscriber site.
+
+    Soft state, exactly as the RLS digest pushers: a lost push (black-
+    holed weather plane, dropped message) costs nothing but staleness at
+    the subscriber, because every digest is a full snapshot of that
+    site's inbound forecasts — the next period's push carries everything
+    this one did.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        client: RequestClient,
+        station: WeatherStation,
+        site: str,
+        site_host: str,
+        phase: float = 0.0,
+        metrics=None,
+    ) -> None:
+        self.sim = sim
+        self.client = client
+        self.station = station
+        self.site = site
+        self.site_host = site_host
+        self.phase = phase
+        self.metrics = metrics
+        self.process: Optional[Process] = None
+        self.stats = {"pushes": 0, "pushes_lost": 0, "bytes_pushed": 0}
+
+    def start(self) -> Process:
+        self.process = self.sim.spawn(
+            self._run(), name=f"weather-pusher@{self.site}"
+        )
+        return self.process
+
+    def stop(self) -> None:
+        if self.process is not None and self.process.is_alive:
+            self.process.interrupt("weather-shutdown")
+
+    def running(self) -> bool:
+        return self.process is not None and self.process.is_alive
+
+    def push_once(self):
+        """Generator: build and push one forecast digest."""
+        payload = self.station.digest_for(self.site, self.sim.now)
+        size = forecast_wire_size(payload)
+        period = self.station.config.push_period
+        try:
+            yield self.client.call(
+                self.site_host,
+                "weather.push_digest",
+                payload,
+                size=REQUEST_MESSAGE_SIZE + size,
+                timeout=max(period * 0.5, 1.0),
+            )
+        except Interrupt:
+            raise
+        except Exception:
+            # lost push (down/black-holed weather plane): the subscriber
+            # just ages toward its staleness horizon until one lands
+            self.stats["pushes_lost"] += 1
+            self._count("lost")
+            return False
+        self.stats["pushes"] += 1
+        self.stats["bytes_pushed"] += size
+        self._count("pushed", size)
+        return True
+
+    def _run(self):
+        try:
+            if self.phase > 0:
+                yield self.sim.timeout(self.phase)
+            while True:
+                yield from self.push_once()
+                yield self.sim.timeout(self.station.config.push_period)
+        except Interrupt:
+            return
+
+    def _count(self, outcome: str, size: int = 0) -> None:
+        if self.metrics is None:
+            return
+        self.metrics.counter(
+            "weather.pushes", site=self.site, outcome=outcome
+        ).inc()
+        if size:
+            self.metrics.counter(
+                "weather.push_bytes", site=self.site
+            ).inc(size)
+
+
+class WeatherRuntime:
+    """Everything the grid assembled for weather mode, in one place."""
+
+    def __init__(
+        self,
+        config: WeatherConfig,
+        weather_host: str,
+        station: WeatherStation,
+        service: WeatherService,
+    ) -> None:
+        self.config = config
+        self.weather_host = weather_host
+        self.station = station
+        self.service = service
+        #: site name -> that site's pushed-forecast cache
+        self.site_weather: Dict[str, SiteWeather] = {}
+        self.subscribers: Dict[str, WeatherSubscriber] = {}
+        self.pushers: Dict[str, ForecastPusher] = {}
+        self.started = False
+
+    def start(self) -> None:
+        """Spawn the standing forecast pushers (idempotent)."""
+        if self.started:
+            return
+        self.started = True
+        for pusher in self.pushers.values():
+            pusher.start()
+
+    def stop(self) -> None:
+        for pusher in self.pushers.values():
+            pusher.stop()
+        self.started = False
+
+    def push_stats(self) -> Dict[str, int]:
+        totals = {"pushes": 0, "pushes_lost": 0, "bytes_pushed": 0}
+        for pusher in self.pushers.values():
+            for key in totals:
+                totals[key] += pusher.stats[key]
+        return totals
+
+    def selection_stats(self) -> Dict[str, int]:
+        totals = {
+            "digests_applied": 0,
+            "digests_stale": 0,
+            "history_selections": 0,
+            "probe_fallbacks": 0,
+        }
+        for weather in self.site_weather.values():
+            for key in totals:
+                totals[key] += weather.stats[key]
+        return totals
+
+    def fingerprint(self) -> str:
+        """Deterministic digest of station state + push accounting."""
+        pushes = ",".join(
+            f"{site}:{self.pushers[site].stats['pushes']}"
+            f"/{self.pushers[site].stats['pushes_lost']}"
+            for site in sorted(self.pushers)
+        )
+        selection = ",".join(
+            f"{site}:{w.stats['history_selections']}"
+            f"/{w.stats['probe_fallbacks']}"
+            for site, w in sorted(self.site_weather.items())
+        )
+        return (
+            self.station.fingerprint() + "##" + pushes + "##" + selection
+        )

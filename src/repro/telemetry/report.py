@@ -10,6 +10,11 @@ that monitoring.  Given a grid's :class:`MetricsRegistry` and
   ``storage``, ...), one row per labelled child, with a kind-appropriate
   digest (counter value, gauge value, histogram count/mean, series
   last/avg/max);
+* a "grid weather" table when the observatory is attached: one row per
+  observed (source, destination) pair joining the ``weather.pair.*``
+  gauges — predicted throughput, samples, failures, staleness,
+  confidence, congestion — plus the top-N most-congested pairs (the
+  paths an operator should reroute around);
 * a per-host span summary (how much traced work each host did, and how
   much of it failed);
 * the top-N slowest finished spans — where the simulated time went;
@@ -67,6 +72,76 @@ def _digest(kind: str, child) -> str:
     )
 
 
+#: the per-pair gauge families the grid-weather table joins on (src, dst)
+_WEATHER_PAIR_PREFIX = "weather.pair."
+
+
+def _weather_rows(registry: MetricsRegistry) -> dict:
+    """(src, dst) -> {metric suffix: value} from the weather.pair gauges."""
+    pairs: dict[tuple[str, str], dict] = {}
+    for name in registry.families():
+        if not name.startswith(_WEATHER_PAIR_PREFIX):
+            continue
+        suffix = name[len(_WEATHER_PAIR_PREFIX):]
+        for child in registry.children(name):
+            labels = dict(child.labels)
+            key = (labels.get("src", "-"), labels.get("dst", "-"))
+            pairs.setdefault(key, {})[suffix] = child.value
+    return pairs
+
+
+def _weather_section(registry: MetricsRegistry, top_n: int) -> list[str]:
+    """The grid-weather table plus the congested-pair ranking."""
+    pairs = _weather_rows(registry)
+    if not pairs:
+        return []
+    lines = ["", "-- grid weather --"]
+
+    def row(key, values) -> tuple:
+        throughput = values.get("throughput")
+        return (
+            f"{key[0]}->{key[1]}",
+            f"{throughput / 1e6:.2f}" if throughput is not None else "-",
+            _fmt(values.get("samples", 0)),
+            _fmt(values.get("failures", 0)),
+            f"{values.get('staleness_seconds', 0.0):.1f}",
+            f"{values.get('confidence', 0.0):.2f}",
+            (f"{values['congestion']:.2f}"
+             if "congestion" in values else "-"),
+        )
+
+    lines.extend(
+        _table(
+            ("pair", "pred MB/s", "samples", "failures", "stale (s)",
+             "confidence", "congestion"),
+            [row(key, pairs[key]) for key in sorted(pairs)],
+        )
+    )
+    congested = sorted(
+        (
+            (values["congestion"], key)
+            for key, values in pairs.items()
+            if values.get("congestion", 0.0) > 0.0
+        ),
+        key=lambda item: (-item[0], item[1]),
+    )[:top_n]
+    if congested:
+        lines.append("")
+        lines.append(
+            f"-- top {len(congested)} congested pairs (1 = starved) --"
+        )
+        lines.extend(
+            _table(
+                ("congestion", "pair"),
+                [
+                    (f"{congestion:.2f}", f"{key[0]}->{key[1]}")
+                    for congestion, key in congested
+                ],
+            )
+        )
+    return lines
+
+
 def render_health_report(
     registry: Optional[MetricsRegistry],
     tracelog: Optional[TraceLog] = None,
@@ -88,6 +163,8 @@ def render_health_report(
         registry.collect()
         by_subsystem: dict[str, list[Sequence[str]]] = {}
         for name in registry.families():
+            if name.startswith(_WEATHER_PAIR_PREFIX):
+                continue  # joined into the grid-weather table below
             kind = registry.kind(name)
             subsystem = name.split(".", 1)[0]
             for child in registry.children(name):
@@ -104,6 +181,7 @@ def render_health_report(
                     by_subsystem[subsystem],
                 )
             )
+        lines.extend(_weather_section(registry, top_n))
 
     if tracelog is not None and len(tracelog):
         finished = [s for s in tracelog.spans() if s.end is not None]

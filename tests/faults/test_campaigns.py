@@ -9,6 +9,7 @@ from repro.faults import (
     crash_restart_campaign,
     link_flap_campaign,
     mss_stall_campaign,
+    weather_blackhole_campaign,
 )
 from repro.simulation.randomness import RandomStreams
 
@@ -20,6 +21,7 @@ def _builders(seed):
         crash_restart_campaign(streams, ["a", "b"]),
         mss_stall_campaign(streams, "a"),
         catalog_blackhole_campaign(streams, "a"),
+        weather_blackhole_campaign(streams, "a"),
     ]
 
 
@@ -42,7 +44,8 @@ def test_events_are_time_sorted_and_windows_paired():
         # every down has a matching later up on the same target
         opens = {"link_down": "link_up", "host_crash": "host_restart",
                  "catalog_blackhole": "catalog_restore",
-                 "catalog_delay": "catalog_delay_clear"}
+                 "catalog_delay": "catalog_delay_clear",
+                 "weather_blackhole": "weather_restore"}
         balance: dict[tuple[str, str], int] = {}
         for ev in campaign.events:
             if ev.kind in opens:

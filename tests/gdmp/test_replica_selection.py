@@ -3,10 +3,14 @@
 import pytest
 
 from repro.gdmp import DataGrid, GdmpConfig, choose_replica
-from repro.gdmp.replica_selection import estimate_transfer_time
+from repro.gdmp.replica_selection import (
+    estimate_transfer_time,
+    rank_replicas,
+)
 from repro.netsim.link import Link
 from repro.netsim.topology import Host, Topology
 from repro.netsim.units import MB, mbps
+from repro.observatory.station import SiteWeather, WeatherConfig
 
 
 @pytest.fixture
@@ -59,6 +63,111 @@ def test_no_candidates_raises(uneven_topology):
         choose_replica(uneven_topology, locations("dst"), "dst", 1 * MB)
     with pytest.raises(ValueError):
         choose_replica(uneven_topology, [], "dst", 1 * MB)
+
+
+@pytest.fixture
+def asymmetric_topology():
+    """Candidates whose two directions are priced very differently:
+    ``a``'s uplink toward dst is slim but its downlink is fat, ``b`` the
+    other way around — probing the wrong direction inverts the ranking."""
+    topo = Topology()
+    for name in ("dst", "a", "b"):
+        topo.add_host(Host(name))
+    topo.connect(
+        "a", "dst",
+        Link("ul-a-dst", capacity=mbps(5), delay=0.01),
+        Link("dl-dst-a", capacity=mbps(100), delay=0.01),
+    )
+    topo.connect(
+        "b", "dst",
+        Link("ul-b-dst", capacity=mbps(50), delay=0.01),
+        Link("dl-dst-b", capacity=mbps(10), delay=0.01),
+    )
+    return topo
+
+
+def test_probe_prices_the_transfer_direction(asymmetric_topology):
+    """The estimate must probe src -> dst (the direction the bytes will
+    flow), not the reverse path the old selector priced."""
+    score = estimate_transfer_time(asymmetric_topology, "a", "dst", 10 * MB)
+    assert score.available_bandwidth == pytest.approx(mbps(5))
+    score = estimate_transfer_time(asymmetric_topology, "b", "dst", 10 * MB)
+    assert score.available_bandwidth == pytest.approx(mbps(50))
+
+
+def test_asymmetric_tails_do_not_invert_the_ranking(asymmetric_topology):
+    """Reverse-direction probing would quote a at 100 Mbit/s and b at
+    10 and pick the slow source; the transfer-direction probe picks b."""
+    choice = choose_replica(
+        asymmetric_topology, locations("a", "b"), "dst", 100 * MB
+    )
+    assert choice.site == "b"
+
+
+class _Clock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+
+def _digest(dst, sources, now, config):
+    return {
+        "site": dst,
+        "as_of": now,
+        "sources": {
+            src: {
+                "bins": [throughput] * config.bins,
+                "ewma": throughput,
+                "rtt": 0.02,
+                "confidence": 0.9,
+                "samples": 8,
+            }
+            for src, throughput in sources.items()
+        },
+    }
+
+
+def test_confident_history_overrides_the_probe(uneven_topology):
+    """A fresh forecast saying the probe-preferred source is starved
+    flips the ranking, and the scores carry history provenance."""
+    config = WeatherConfig()
+    clock = _Clock(now=100.0)
+    cache = SiteWeather("dst", config, clock)
+    # history: "near" achieves a trickle, "far" runs near capacity
+    assert cache.apply_digest(_digest(
+        "dst", {"near": mbps(1) / 8, "far": mbps(30) / 8}, 100.0, config,
+    ))
+    ranked = rank_replicas(
+        uneven_topology, locations("near", "far"), "dst", 100 * MB,
+        weather=cache,
+    )
+    assert [s.site for s in ranked] == ["far", "near"]
+    assert all(s.basis == "history" for s in ranked)
+    assert cache.stats["history_selections"] == 1
+    # the same ranking without history stays probe-ordered
+    probed = rank_replicas(
+        uneven_topology, locations("near", "far"), "dst", 100 * MB,
+    )
+    assert [s.site for s in probed] == ["near", "far"]
+
+
+def test_stale_history_degrades_to_the_probe_ladder(uneven_topology):
+    """A cache older than the staleness horizon is not consulted: the
+    ranking reduces to the pure-probe order and counts the fallback."""
+    config = WeatherConfig(staleness_horizon=30.0)
+    clock = _Clock(now=0.0)
+    cache = SiteWeather("dst", config, clock)
+    assert cache.apply_digest(_digest(
+        "dst", {"near": mbps(1) / 8, "far": mbps(30) / 8}, 0.0, config,
+    ))
+    clock.now = 31.0  # past the horizon
+    ranked = rank_replicas(
+        uneven_topology, locations("near", "far"), "dst", 100 * MB,
+        weather=cache,
+    )
+    assert [s.site for s in ranked] == ["near", "far"]
+    assert all(s.basis == "probe" for s in ranked)
+    assert cache.stats["probe_fallbacks"] == 1
+    assert cache.stats["history_selections"] == 0
 
 
 def test_replication_uses_nearest_source_in_grid():

@@ -1,0 +1,106 @@
+"""Tiered T0/T1/T2 topology builder: shape, asymmetry, duplex mesh."""
+
+import pytest
+
+from repro.gdmp import DataGrid, GdmpConfig
+from repro.netsim.tiered import TieredSpec, tiered_grid_spec
+from repro.netsim.tools import pipechar
+from repro.netsim.units import mbps
+
+
+def test_default_tree_shape():
+    tspec = tiered_grid_spec(TieredSpec())
+    assert tspec.t0 == "t0-cern"
+    assert tspec.t1_sites == ("t1-0", "t1-1")
+    assert tspec.t2_sites == ("t2-0a", "t2-0b", "t2-1a", "t2-1b")
+    assert len(tspec.sites) == 7
+    assert tspec.parents == {
+        "t2-0a": "t1-0", "t2-0b": "t1-0",
+        "t2-1a": "t1-1", "t2-1b": "t1-1",
+    }
+
+
+def test_symmetric_tails_share_one_link():
+    tspec = tiered_grid_spec(TieredSpec(t1_mesh_mbps=0.0))
+    tail = [spec for spec in tspec.wan_links if spec[0].startswith("t1-")]
+    assert tail and all(len(spec) == 3 for spec in tail)
+
+
+def test_asymmetric_tails_get_directional_links():
+    tspec = tiered_grid_spec(
+        TieredSpec(t2_down_mbps=45.0, t2_up_mbps=4.0, t2_cross_mbps=1.0,
+                   t1_mesh_mbps=0.0)
+    )
+    tails = [spec for spec in tspec.wan_links if spec[0].startswith("t1-")]
+    assert tails and all(len(spec) == 4 for spec in tails)
+    t1, t2, down, up = tails[0]
+    assert down.capacity == mbps(45.0)
+    assert up.capacity == mbps(4.0)
+
+
+def test_asymmetric_tail_probes_price_each_direction():
+    """Wired into a grid, the uplink and downlink quote their own
+    bandwidths — the situation where probing the wrong direction
+    misprices a source by an order of magnitude."""
+    tspec = tiered_grid_spec(
+        TieredSpec(t2_down_mbps=40.0, t2_up_mbps=4.0, t2_cross_mbps=0.0,
+                   t1_mesh_mbps=0.0)
+    )
+    grid = DataGrid(
+        [GdmpConfig(name) for name in tspec.sites],
+        catalog_host=tspec.t0,
+        wan_links=list(tspec.wan_links),
+    )
+    t1, t2 = "t1-0", "t2-0a"
+    down = pipechar(grid.topology, t1, t2).available_bandwidth
+    up = pipechar(grid.topology, t2, t1).available_bandwidth
+    assert down == pytest.approx(mbps(40.0))
+    assert up == pytest.approx(mbps(4.0))
+
+
+def test_mesh_is_full_duplex():
+    """T1<->T1 mesh circuits carry a distinct link per direction, so
+    opposing flows never contend with each other."""
+    tspec = tiered_grid_spec(TieredSpec())
+    mesh = [
+        spec for spec in tspec.wan_links
+        if spec[2].name.startswith("t1x-")
+    ]
+    assert len(mesh) == 1
+    a, b, forward, reverse = mesh[0]
+    assert (a, b) == ("t1-0", "t1-1")
+    assert forward is not reverse
+    assert forward.capacity == reverse.capacity == mbps(45.0)
+
+
+def test_mesh_scales_with_t1_count():
+    tspec = tiered_grid_spec(TieredSpec(t1_count=4, t2_per_t1=0))
+    mesh = [
+        spec for spec in tspec.wan_links
+        if spec[2].name.startswith("t1x-")
+    ]
+    assert len(mesh) == 6  # 4 choose 2
+
+
+def test_tree_routing_is_unique_without_a_mesh():
+    """On the pure tree a sibling region is reached via T1 and T0."""
+    tspec = tiered_grid_spec(TieredSpec(t1_mesh_mbps=0.0))
+    grid = DataGrid(
+        [GdmpConfig(name) for name in tspec.sites],
+        catalog_host=tspec.t0,
+        wan_links=list(tspec.wan_links),
+    )
+    hops = [
+        link.name for link in grid.topology.route("t2-0a", "t2-1a")
+    ]
+    assert hops == [
+        "dl-t1-0-t2-0a", "bb-t0-cern-t1-0", "bb-t0-cern-t1-1",
+        "dl-t1-1-t2-1a",
+    ]
+
+
+def test_invalid_shapes_rejected():
+    with pytest.raises(ValueError):
+        TieredSpec(t1_count=0)
+    with pytest.raises(ValueError):
+        TieredSpec(t2_per_t1=-1)

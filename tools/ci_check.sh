@@ -55,6 +55,10 @@ python tools/rls_smoke.py
 python benchmarks/bench_rls.py --smoke > /dev/null
 python tools/perf_report.py --rls --smoke --output - > /dev/null
 
+echo "== weather: selection quality + degradation + determinism (smoke) =="
+python tools/weather_smoke.py
+python tools/perf_report.py --weather --smoke --output - > /dev/null
+
 if command -v ruff > /dev/null 2>&1; then
     echo "== ruff =="
     ruff check src tests benchmarks tools

@@ -37,6 +37,16 @@ must stay within ``RLS_REGRESSION_TOLERANCE`` of its recorded floor
 *and* above the hard ``RLS_MIN_SPEEDUP`` (8x) acceptance bound in full
 mode.
 
+``--weather`` measures the grid weather service: the streaming
+observation plane's wall-clock rates (observations ingested, forecasts
+answered, site-cache predictions) plus the EXP-WEATHER selection-quality
+legs (see ``benchmarks/bench_weather.py``).  Written to
+``BENCH_weather.json`` and gated: history-blended selection must beat
+the probe-only static leg's mean completion time by the hard
+``WEATHER_MIN_IMPROVEMENT`` margin, with the ``weather_blackhole``
+degradation leg converged — so the margin is never bought by a policy
+that falls over when its telemetry does.
+
 ``--smoke`` runs shrunk scenarios and skips the figure sweeps (used by
 ``tools/ci_check.sh`` as a fast sanity gate; it does not overwrite the
 committed record unless ``--output`` says so).
@@ -152,6 +162,32 @@ RLS_MIN_SPEEDUP = 8.0
 #: the bloom's design point is 1%; past 5% the index is saturated and
 #: every lookup starts paying broadcast-like verify costs
 RLS_MAX_FP_RATE = 0.05
+
+
+#: Recorded weather-service baseline.  The wall-clock observation-plane
+#: floors sit well under the reference 1-CPU box's measurements (~215k
+#: observations/s, ~300k predictions/s full mode) so the 20% gate has
+#: headroom against timer noise while still catching the regression that
+#: matters: the streaming estimators degrading to ring scans on the
+#: query path.  ``improvement`` (static mean completion / smart mean
+#: under the diurnal congestion peak) is a *deterministic* simulation
+#: output — the recorded floor is just under the measured 1.32x, and the
+#: hard ``WEATHER_MIN_IMPROVEMENT`` bound below is the acceptance claim
+#: itself, which tolerance does not soften.
+WEATHER_BASELINE = {
+    "recorded": True,
+    "full": {"improvement": 1.30, "observations_per_s": 100_000.0,
+             "forecasts_per_s": 100_000.0, "predictions_per_s": 120_000.0},
+    "smoke": {"improvement": 1.30, "observations_per_s": 100_000.0,
+              "forecasts_per_s": 100_000.0, "predictions_per_s": 120_000.0},
+}
+
+WEATHER_REGRESSION_TOLERANCE = 0.20
+
+#: hard acceptance bound: history-blended selection must beat the
+#: probe-only static leg's mean completion time under congestion by at
+#: least this factor, in both modes — no tolerance applied
+WEATHER_MIN_IMPROVEMENT = 1.05
 
 
 def _median_wall(fn) -> float:
@@ -410,6 +446,70 @@ def build_rls_report(smoke: bool = False) -> dict:
     }
 
 
+def build_weather_report(smoke: bool = False) -> dict:
+    """Measure the grid weather service; gated record."""
+    import bench_weather
+
+    result = bench_weather.run_bench(smoke=smoke)
+    current = dict(result)
+    # hoisted copies of the gated metrics, mirroring the other records
+    current["improvement"] = result["selection"]["improvement"]
+    current["observations_per_s"] = result["station"]["observations_per_s"]
+    current["forecasts_per_s"] = result["station"]["forecasts_per_s"]
+    current["predictions_per_s"] = result["station"]["predictions_per_s"]
+    return {
+        "generated_by": "tools/perf_report.py --weather",
+        "protocol": {
+            "scenario": "EXP-WEATHER at a fixed seed: smart (history-"
+                        "blended) vs static (probe-only) replica selection "
+                        "on a T0/T1/T2 tiered grid under a diurnal "
+                        "congestion wave (bench_weather.run_bench)",
+            "metric": "improvement = static mean completion time / smart "
+                      "mean, deterministic simulation; observation-plane "
+                      "rates are wall clock over the real estimators",
+            "chaos": "a weather_blackhole campaign leg must converge "
+                     "(probe fallbacks forced, degradation bounded, "
+                     "history reconverged) before the margin is recorded",
+            "baseline": "recorded conservative floors; gate fails metrics "
+                        f">{WEATHER_REGRESSION_TOLERANCE:.0%} below them, "
+                        f"or improvement < {WEATHER_MIN_IMPROVEMENT}x "
+                        "(the hard acceptance bound)",
+        },
+        "baseline": WEATHER_BASELINE,
+        "current": current,
+    }
+
+
+def check_weather_regressions(report: dict) -> list[str]:
+    """Gated weather metrics below their floors (or the hard bound)."""
+    mode = report["current"]["mode"]
+    floors = report["baseline"].get(mode, {})
+    failures = []
+    for metric, floor in floors.items():
+        measured = report["current"].get(metric)
+        if measured is None:
+            failures.append(f"{metric}: missing from the current record")
+        elif measured < floor * (1.0 - WEATHER_REGRESSION_TOLERANCE):
+            failures.append(
+                f"{metric}: {measured:.2f} is >"
+                f"{WEATHER_REGRESSION_TOLERANCE:.0%} below the recorded "
+                f"baseline floor {floor:.2f}"
+            )
+    improvement = report["current"].get("improvement")
+    if improvement is not None and improvement < WEATHER_MIN_IMPROVEMENT:
+        failures.append(
+            f"improvement: {improvement:.3f} breaks the hard "
+            f">={WEATHER_MIN_IMPROVEMENT}x acceptance bound"
+        )
+    if not report["current"].get("selection", {}).get("converged"):
+        failures.append("selection leg: fault-free EXP-WEATHER did not "
+                        "converge")
+    if not report["current"].get("chaos", {}).get("converged"):
+        failures.append("chaos leg: weather_blackhole campaign did not "
+                        "converge")
+    return failures
+
+
 def check_rls_regressions(report: dict) -> list[str]:
     """Gated RLS metrics below their floors (or the hard bounds)."""
     mode = report["current"]["mode"]
@@ -533,6 +633,11 @@ def main(argv: list[str] | None = None) -> int:
                              "service (10M entries / 10 sites in full "
                              "mode); writes BENCH_rls.json and exits "
                              "non-zero on a gated regression")
+    parser.add_argument("--weather", action="store_true",
+                        help="measure the grid weather service (streaming "
+                             "observation plane + EXP-WEATHER selection "
+                             "quality); writes BENCH_weather.json and "
+                             "exits non-zero on a gated regression")
     parser.add_argument("--output", type=Path, default=None,
                         help="where to write the JSON record "
                              "(default: BENCH_netsim.json / "
@@ -549,6 +654,8 @@ def main(argv: list[str] | None = None) -> int:
         report = build_workload_report(smoke=args.smoke)
     elif args.rls:
         report = build_rls_report(smoke=args.smoke)
+    elif args.weather:
+        report = build_weather_report(smoke=args.smoke)
     else:
         report = build_report(smoke=args.smoke)
     text = json.dumps(report, indent=2, sort_keys=True) + "\n"
@@ -566,6 +673,8 @@ def main(argv: list[str] | None = None) -> int:
             target = REPO_ROOT / "BENCH_workload.json"
         elif args.rls:
             target = REPO_ROOT / "BENCH_rls.json"
+        elif args.weather:
+            target = REPO_ROOT / "BENCH_weather.json"
         elif args.flow_scale:
             # the flow-scale record rides in BENCH_netsim.json next to the
             # micro/figure record instead of claiming its own file
@@ -618,6 +727,26 @@ def main(argv: list[str] | None = None) -> int:
         print(f"  chaos leg: {current['chaos']['faults_injected']} faults, "
               f"converged={current['chaos']['converged']}")
         failures = check_rls_regressions(report)
+        for failure in failures:
+            print(f"REGRESSION: {failure}")
+        return 1 if failures else 0
+    if args.weather:
+        current = report["current"]
+        selection = current["selection"]
+        print(f"  selection: smart {selection['smart_mean_s']:.2f} s vs "
+              f"static {selection['static_mean_s']:.2f} s mean completion "
+              f"= {current['improvement']:.2f}x improvement "
+              f"({selection['history_selections']} history selections, "
+              f"{selection['probe_fallbacks']} probe fallbacks)")
+        print(f"  observation plane: "
+              f"{current['observations_per_s']:.0f} observations/s, "
+              f"{current['forecasts_per_s']:.0f} forecasts/s, "
+              f"{current['predictions_per_s']:.0f} predictions/s "
+              f"over {current['station']['pairs']} pairs")
+        print(f"  chaos leg: {current['chaos']['faults_injected']} faults, "
+              f"{current['chaos']['probe_fallbacks']} probe fallbacks, "
+              f"converged={current['chaos']['converged']}")
+        failures = check_weather_regressions(report)
         for failure in failures:
             print(f"REGRESSION: {failure}")
         return 1 if failures else 0
