@@ -1,0 +1,234 @@
+"""A deterministic, pure-python systematic Reed–Solomon coder over GF(256).
+
+The erasure math behind k-of-n chunk placement: ``k`` data shards are
+expanded with ``m`` parity shards such that *any* ``k`` of the ``k+m``
+survive an erasure pattern and reconstruct the data exactly.
+
+Construction: a ``(k+m) × k`` Vandermonde matrix over GF(2^8)
+(evaluation points ``0..k+m-1``, all distinct, so every ``k``-row
+submatrix is invertible) is normalized by the inverse of its top
+``k × k`` block.  The result is *systematic* — the first ``k`` rows are
+the identity, so data shards pass through unchanged — and keeps the
+any-k-of-n property, because row selections of ``V · V_top⁻¹`` are
+products of an invertible Vandermonde selection with an invertible
+matrix.
+
+Everything is integer table lookups — no floats, no randomness, no
+external dependencies — so encode/decode is bit-identical everywhere.
+The hot loops ride C-speed primitives: multiplying a whole shard by a
+GF constant is one ``bytes.translate`` over a precomputed 256-byte
+table, and shard XOR is one big-int XOR.
+
+Degenerate shapes are first-class: ``m=0`` is pure striping (no parity,
+no loss tolerance beyond the data itself) and ``k=1`` is replication
+(every parity shard is a scaled copy; any single survivor restores the
+data).
+"""
+
+from __future__ import annotations
+
+__all__ = ["GF256", "ReedSolomon", "gf_mul", "gf_inv", "gf_pow"]
+
+#: the conventional Reed–Solomon field polynomial x^8+x^4+x^3+x^2+1;
+#: any primitive polynomial works, this one matches the tables in the
+#: classic storage-coding literature.
+_POLY = 0x11D
+
+_GF_EXP = [0] * 512
+_GF_LOG = [0] * 256
+
+
+def _build_tables() -> None:
+    x = 1
+    for i in range(255):
+        _GF_EXP[i] = x
+        _GF_LOG[x] = i
+        x <<= 1
+        if x & 0x100:
+            x ^= _POLY
+    for i in range(255, 512):
+        _GF_EXP[i] = _GF_EXP[i - 255]
+
+
+_build_tables()
+
+
+def gf_mul(a: int, b: int) -> int:
+    """Product in GF(256)."""
+    if a == 0 or b == 0:
+        return 0
+    return _GF_EXP[_GF_LOG[a] + _GF_LOG[b]]
+
+
+def gf_inv(a: int) -> int:
+    """Multiplicative inverse in GF(256)."""
+    if a == 0:
+        raise ZeroDivisionError("0 has no inverse in GF(256)")
+    return _GF_EXP[255 - _GF_LOG[a]]
+
+
+def gf_pow(a: int, n: int) -> int:
+    """``a**n`` in GF(256) (with ``0**0 == 1``)."""
+    if n == 0:
+        return 1
+    if a == 0:
+        return 0
+    return _GF_EXP[(_GF_LOG[a] * n) % 255]
+
+
+#: per-constant 256-byte multiplication tables for bytes.translate —
+#: built once at import (64 KiB), shared by every coder instance
+_MUL_TABLES = tuple(
+    bytes(gf_mul(c, b) for b in range(256)) for c in range(256)
+)
+
+
+class GF256:
+    """Namespace handle for the field primitives (test introspection)."""
+
+    mul = staticmethod(gf_mul)
+    inv = staticmethod(gf_inv)
+    pow = staticmethod(gf_pow)
+    exp = _GF_EXP
+    log = _GF_LOG
+
+
+def _scaled(shard: bytes, c: int) -> int:
+    """``c * shard`` as a big integer (0 stays 0, 1 skips the table)."""
+    if c == 0:
+        return 0
+    if c == 1:
+        return int.from_bytes(shard, "big")
+    return int.from_bytes(shard.translate(_MUL_TABLES[c]), "big")
+
+
+def _invert(matrix: list[list[int]]) -> list[list[int]]:
+    """Gauss–Jordan inversion of a small matrix over GF(256)."""
+    n = len(matrix)
+    aug = [list(row) + [int(i == j) for j in range(n)]
+           for i, row in enumerate(matrix)]
+    for col in range(n):
+        pivot = next(
+            (r for r in range(col, n) if aug[r][col] != 0), None
+        )
+        if pivot is None:
+            raise ValueError("singular matrix")
+        if pivot != col:
+            aug[col], aug[pivot] = aug[pivot], aug[col]
+        inv_p = gf_inv(aug[col][col])
+        aug[col] = [gf_mul(v, inv_p) for v in aug[col]]
+        for r in range(n):
+            if r != col and aug[r][col] != 0:
+                factor = aug[r][col]
+                aug[r] = [
+                    v ^ gf_mul(factor, p)
+                    for v, p in zip(aug[r], aug[col])
+                ]
+    return [row[n:] for row in aug]
+
+
+class ReedSolomon:
+    """Systematic ``(k, m)`` erasure coder: any k of k+m reconstruct."""
+
+    def __init__(self, k: int, m: int):
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        if m < 0:
+            raise ValueError("m must be non-negative")
+        if k + m > 255:
+            raise ValueError("k + m must not exceed 255")
+        self.k = k
+        self.m = m
+        self.n = k + m
+        vandermonde = [
+            [gf_pow(r, c) for c in range(k)] for r in range(self.n)
+        ]
+        top_inv = _invert([row[:] for row in vandermonde[:k]])
+        #: the systematic encoding matrix: identity on top, parity below
+        self.matrix = [
+            [
+                self._dot(vrow, [top_inv[i][c] for i in range(k)])
+                for c in range(k)
+            ]
+            for vrow in vandermonde
+        ]
+
+    @staticmethod
+    def _dot(a: list[int], b: list[int]) -> int:
+        acc = 0
+        for x, y in zip(a, b):
+            acc ^= gf_mul(x, y)
+        return acc
+
+    def _combine(self, rows: list[list[int]],
+                 shards: list[bytes]) -> list[bytes]:
+        """``rows @ shards`` with whole-shard table lookups."""
+        width = len(shards[0])
+        out = []
+        for row in rows:
+            acc = 0
+            for coef, shard in zip(row, shards):
+                if coef:
+                    acc ^= _scaled(shard, coef)
+            out.append(acc.to_bytes(width, "big"))
+        return out
+
+    # -- encoding -----------------------------------------------------------
+    def encode(self, data_shards: list[bytes]) -> list[bytes]:
+        """The ``m`` parity shards for ``k`` equal-length data shards."""
+        if len(data_shards) != self.k:
+            raise ValueError(
+                f"expected {self.k} data shards, got {len(data_shards)}"
+            )
+        widths = {len(s) for s in data_shards}
+        if len(widths) != 1:
+            raise ValueError("data shards must be equal length")
+        if self.m == 0:
+            return []
+        return self._combine(self.matrix[self.k:], list(data_shards))
+
+    def encode_stripe(self, data_shards: list[bytes]) -> list[bytes]:
+        """Data + parity shards, in stripe index order."""
+        return list(data_shards) + self.encode(data_shards)
+
+    # -- decoding -----------------------------------------------------------
+    def decode(self, available: dict[int, bytes]) -> list[bytes]:
+        """The ``k`` data shards from any ``k`` surviving stripe members.
+
+        ``available`` maps stripe index (0..n-1; data first, then
+        parity) to shard bytes.  Raises :class:`ValueError` with fewer
+        than ``k`` survivors.  Decoding is deterministic: survivors are
+        consumed in ascending index order.
+        """
+        indices = sorted(available)
+        if any(i < 0 or i >= self.n for i in indices):
+            raise ValueError("stripe index out of range")
+        if len(indices) < self.k:
+            raise ValueError(
+                f"need {self.k} shards to reconstruct, have {len(indices)}"
+            )
+        use = indices[: self.k]
+        if use == list(range(self.k)):
+            # all data shards survived: systematic passthrough
+            return [available[i] for i in use]
+        sub = [self.matrix[i] for i in use]
+        inv = _invert(sub)
+        return self._combine(inv, [available[i] for i in use])
+
+    def reconstruct(self, available: dict[int, bytes],
+                    missing: list[int]) -> dict[int, bytes]:
+        """Rebuild exactly the ``missing`` stripe members (data or
+        parity) from any ``k`` survivors — the repair path re-encodes
+        only the lost members."""
+        data = self.decode(available)
+        out: dict[int, bytes] = {}
+        for index in missing:
+            if index < 0 or index >= self.n:
+                raise ValueError("stripe index out of range")
+            if index < self.k:
+                out[index] = data[index]
+            else:
+                out[index] = self._combine(
+                    [self.matrix[index]], data
+                )[0]
+        return out

@@ -1,0 +1,224 @@
+"""Chunk witnesses, content-addressed chunk ids, and object manifests.
+
+The grid stores multi-GB files as content-identity tokens, but erasure
+coding needs real bytes to run real field arithmetic over.  The bridge
+is the *witness*: every data chunk of an object carries a small,
+deterministic byte string derived from the object's content key and the
+chunk's stripe index.  Witnesses are what the
+:class:`~repro.chunks.gf256.ReedSolomon` coder genuinely encodes and
+decodes — parity witnesses are true GF(256) combinations of the data
+witnesses, and reconstruction after a loss recomputes them bit-exactly —
+while the *simulated* chunk size (``object size / k``) is what the
+transfer plane charges for moving them.
+
+Content addressing falls out: a chunk's id is the blake2b digest of its
+witness, so two objects sharing a content key share every chunk id and
+the second upload deduplicates against the first.  A chunk replica on a
+site's disk lives at ``chunks/<chunk_id>`` with content identity
+``chunk:<chunk_id>`` (whose CRC any CKSM probe can check against the
+manifest without moving data) and the witness riding as the payload.
+
+The manifest is the object's durable record: size, (k, m) shape,
+content key, the ordered chunk ids, and the *object fingerprint* — the
+digest of the concatenated data witnesses — which the read path must
+reproduce for a fetch to count as byte-identical reconstruction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.chunks.gf256 import ReedSolomon
+from repro.storage.integrity import file_crc
+
+__all__ = [
+    "WITNESS_SIZE",
+    "witness",
+    "chunk_id_of",
+    "chunk_content_id",
+    "chunk_crc",
+    "chunk_path",
+    "object_fingerprint",
+    "ChunkSpec",
+    "Manifest",
+    "build_manifest",
+]
+
+#: bytes of real content per witness — big enough that distinct chunks
+#: never collide, small enough that coding costs nothing
+WITNESS_SIZE = 32
+
+
+def witness(content_key: str, index: int, k: int) -> bytes:
+    """The deterministic stand-in bytes for data chunk ``index``.
+
+    ``k`` is folded in so the same content striped two different ways
+    yields different chunks (a (4,2) stripe shares nothing with a
+    (8,3) stripe of the same object).
+    """
+    return hashlib.blake2b(
+        f"shard:{content_key}:{k}:{index}".encode("utf-8"),
+        digest_size=WITNESS_SIZE,
+    ).digest()
+
+
+def chunk_id_of(witness_bytes: bytes) -> str:
+    """Content address of a chunk: blake2b of its witness."""
+    return hashlib.blake2b(witness_bytes, digest_size=16).hexdigest()
+
+
+def chunk_content_id(chunk_id: str) -> str:
+    """The storage content-identity token of a chunk replica."""
+    return f"chunk:{chunk_id}"
+
+
+def chunk_crc(chunk_id: str) -> int:
+    """The CRC a CKSM probe of a healthy chunk replica must return."""
+    return file_crc(chunk_content_id(chunk_id))
+
+
+def chunk_path(chunk_id: str) -> str:
+    """Site-local path of a chunk replica."""
+    return f"chunks/{chunk_id}"
+
+
+def object_fingerprint(data_witnesses: list[bytes], size: float) -> str:
+    """Digest of the reassembled object — byte-identical reconstruction
+    means reproducing exactly this string from any k recovered chunks."""
+    h = hashlib.blake2b(digest_size=16)
+    for w in data_witnesses:
+        h.update(w)
+    h.update(f"|{size:.0f}".encode("utf-8"))
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class ChunkSpec:
+    """One stripe member of a manifest."""
+
+    index: int          # stripe position (0..k-1 data, k..k+m-1 parity)
+    kind: str           # "data" | "parity"
+    chunk_id: str
+
+    @property
+    def path(self) -> str:
+        return chunk_path(self.chunk_id)
+
+    @property
+    def content_id(self) -> str:
+        return chunk_content_id(self.chunk_id)
+
+    @property
+    def crc(self) -> int:
+        return chunk_crc(self.chunk_id)
+
+
+@dataclass(frozen=True)
+class Manifest:
+    """The durable description of one chunked object."""
+
+    object: str
+    size: float
+    k: int
+    m: int
+    content_key: str
+    fingerprint: str
+    chunks: tuple[ChunkSpec, ...]
+
+    @property
+    def chunk_size(self) -> float:
+        """Simulated bytes per chunk (data and parity alike)."""
+        return self.size / self.k
+
+    @property
+    def data_chunks(self) -> tuple[ChunkSpec, ...]:
+        return self.chunks[: self.k]
+
+    @property
+    def parity_chunks(self) -> tuple[ChunkSpec, ...]:
+        return self.chunks[self.k:]
+
+    def spec_by_id(self, chunk_id: str) -> ChunkSpec:
+        for spec in self.chunks:
+            if spec.chunk_id == chunk_id:
+                return spec
+        raise KeyError(chunk_id)
+
+    def to_wire(self) -> dict:
+        """Bus-serializable form."""
+        return {
+            "object": self.object,
+            "size": self.size,
+            "k": self.k,
+            "m": self.m,
+            "content_key": self.content_key,
+            "fingerprint": self.fingerprint,
+            "chunks": [
+                (spec.index, spec.kind, spec.chunk_id)
+                for spec in self.chunks
+            ],
+        }
+
+    @classmethod
+    def from_wire(cls, wire: dict) -> "Manifest":
+        return cls(
+            object=wire["object"],
+            size=wire["size"],
+            k=wire["k"],
+            m=wire["m"],
+            content_key=wire["content_key"],
+            fingerprint=wire["fingerprint"],
+            chunks=tuple(
+                ChunkSpec(index=i, kind=kind, chunk_id=cid)
+                for i, kind, cid in wire["chunks"]
+            ),
+        )
+
+    def repr_line(self) -> str:
+        """One canonical fingerprint line for determinism gates."""
+        ids = ",".join(spec.chunk_id for spec in self.chunks)
+        return (
+            f"{self.object} size={self.size:.0f} k={self.k} m={self.m} "
+            f"fp={self.fingerprint} chunks={ids}"
+        )
+
+
+def build_manifest(
+    object_name: str,
+    size: float,
+    content_key: str,
+    k: int,
+    m: int,
+) -> tuple[Manifest, dict[str, bytes]]:
+    """Deterministically chunk + encode one object.
+
+    Returns the manifest and the witness bytes per chunk id (data and
+    parity) — everything an uploader needs to materialize chunk files.
+    Pure computation: same inputs give byte-identical results anywhere.
+    """
+    if size < 0:
+        raise ValueError("size must be non-negative")
+    coder = ReedSolomon(k, m)
+    data = [witness(content_key, i, k) for i in range(k)]
+    stripe = coder.encode_stripe(data)
+    specs = []
+    witnesses: dict[str, bytes] = {}
+    for index, shard in enumerate(stripe):
+        cid = chunk_id_of(shard)
+        specs.append(ChunkSpec(
+            index=index,
+            kind="data" if index < k else "parity",
+            chunk_id=cid,
+        ))
+        witnesses[cid] = shard
+    manifest = Manifest(
+        object=object_name,
+        size=size,
+        k=k,
+        m=m,
+        content_key=content_key,
+        fingerprint=object_fingerprint(data, size),
+        chunks=tuple(specs),
+    )
+    return manifest, witnesses

@@ -22,6 +22,7 @@ chaos     EXP-CHAOS — fault-injection campaigns; recovery convergence
 workload  EXP-WORKLOAD — claim-based standing pipeline at request scale
 rls       EXP-RLS — two-tier replica location: sharded LRCs + bloom RLI
 weather   EXP-WEATHER — history-based selection vs probes, tiered grid
+chunks    EXP-CHUNKS — erasure-coded chunk stripes; scrub/repair
 ========  ==========================================================
 """
 
@@ -31,6 +32,7 @@ from repro.experiments import (  # noqa: F401
     catalog_replication_bench,
     catalog_scale,
     chaos,
+    chunks,
     clustering,
     figure5,
     figure6,
@@ -67,6 +69,7 @@ EXPERIMENTS = {
     "workload": workload,
     "rls": rls,
     "weather": weather,
+    "chunks": chunks,
 }
 
 __all__ = ["EXPERIMENTS"]

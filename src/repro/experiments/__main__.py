@@ -41,6 +41,7 @@ _VALUE_FLAGS = {
     "--requests=": ("requests", int),
     "--sites=": ("sites", int),
     "--files=": ("files", int),
+    "--objects=": ("objects", int),
 }
 
 

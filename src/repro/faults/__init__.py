@@ -13,11 +13,13 @@ from repro.faults.campaign import (  # noqa: F401
     FaultCampaign,
     FaultEvent,
     catalog_blackhole_campaign,
+    chunk_corrupt_campaign,
     component_crash_campaign,
     crash_restart_campaign,
     link_flap_campaign,
     mss_stall_campaign,
     rli_blackhole_campaign,
+    site_wipe_campaign,
     weather_blackhole_campaign,
 )
 from repro.faults.injector import FaultInjector  # noqa: F401
@@ -27,10 +29,12 @@ __all__ = [
     "FaultEvent",
     "FaultInjector",
     "catalog_blackhole_campaign",
+    "chunk_corrupt_campaign",
     "component_crash_campaign",
     "crash_restart_campaign",
     "link_flap_campaign",
     "mss_stall_campaign",
     "rli_blackhole_campaign",
+    "site_wipe_campaign",
     "weather_blackhole_campaign",
 ]

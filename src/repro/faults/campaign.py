@@ -32,6 +32,8 @@ __all__ = [
     "component_crash_campaign",
     "rli_blackhole_campaign",
     "weather_blackhole_campaign",
+    "chunk_corrupt_campaign",
+    "site_wipe_campaign",
 ]
 
 #: every fault kind the injector knows how to apply
@@ -45,6 +47,8 @@ FAULT_KINDS = frozenset({
     "rli_blackhole", "rli_restore",              # whole-RLI black-hole window
     "digest_loss", "digest_restore",             # drop digest pushes only
     "weather_blackhole", "weather_restore",      # weather-plane black-hole
+    "chunk_corrupt",                             # silent chunk bit rot
+    "site_wipe",                                 # lose a site's chunk store
 })
 
 
@@ -287,6 +291,67 @@ def rli_blackhole_campaign(
         min_down=min_down, max_down=max_down,
     ))
     return FaultCampaign("rli-blackhole", tuple(events))
+
+
+def chunk_corrupt_campaign(
+    streams,
+    sites: Sequence[str],
+    *,
+    corruptions: int = 4,
+    start: float = 5.0,
+    spread: float = 60.0,
+) -> FaultCampaign:
+    """Silently flip bits in stored chunk replicas: instantaneous events
+    that damage one file under a random site's ``chunks/`` prefix.
+
+    ``param`` carries a pre-drawn selector; the injector picks the
+    victim as ``selector mod len(chunk files)`` over the site's sorted
+    chunk listing at fire time, so the schedule stays frozen while the
+    victim adapts to whatever the workload has placed by then.  TCP
+    never sees this damage — only a CKSM scrub (or a fetch's CRC check)
+    can."""
+    if not sites:
+        raise ValueError("no sites to corrupt chunks at")
+    rng = streams["faults.chunk_corrupt"]
+    events = []
+    for _ in range(corruptions):
+        target = sites[int(rng.integers(0, len(sites)))]
+        at = start + float(rng.uniform(0.0, spread))
+        selector = float(rng.integers(0, 1_000_000))
+        events.append(
+            FaultEvent(round(at, 6), "chunk_corrupt", target, selector)
+        )
+    return FaultCampaign("chunk-corrupt", tuple(events))
+
+
+def site_wipe_campaign(
+    streams,
+    sites: Sequence[str],
+    *,
+    wipes: int = 2,
+    start: float = 10.0,
+    spread: float = 40.0,
+) -> FaultCampaign:
+    """Destroy whole chunk stores: each wipe deletes *every* file under
+    one site's ``chunks/`` prefix (a dead disk array; the host itself
+    stays up and will accept re-uploads).  Victim sites are drawn
+    *distinct* — the point of the (k, m) durability contract is
+    surviving m simultaneous site losses, so the campaign must actually
+    produce m distinct losses rather than wiping one site twice."""
+    if not sites:
+        raise ValueError("no sites to wipe")
+    if wipes > len(sites):
+        raise ValueError(
+            f"cannot wipe {wipes} distinct sites out of {len(sites)}"
+        )
+    rng = streams["faults.site_wipe"]
+    pool = list(sites)
+    events = []
+    for _ in range(wipes):
+        victim = pool.pop(int(rng.integers(0, len(pool))))
+        at = start + float(rng.uniform(0.0, spread))
+        events.append(FaultEvent(round(at, 6), "site_wipe", victim))
+    return FaultCampaign("site-wipe", tuple(events))
 
 
 def weather_blackhole_campaign(

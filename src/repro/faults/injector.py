@@ -348,6 +348,37 @@ class FaultInjector:
                 )
             self._close_span(key)
 
+    # -- chunk stores -------------------------------------------------------------
+    _CHUNK_PREFIX = "chunks/"
+
+    def _apply_chunk_corrupt(self, event: FaultEvent) -> None:
+        """Silently damage one stored chunk replica at the target site.
+        The victim is ``param mod len(listing)`` over the sorted
+        ``chunks/`` listing at fire time — deterministic given the
+        workload state, and a no-op on a site holding no chunks yet."""
+        site = self.grid.site(event.target)
+        chunks = site.fs.listing(self._CHUNK_PREFIX)
+        if not chunks:
+            self.monitor.count("chunk_corrupt_noop")
+            return
+        victim = chunks[int(event.param) % len(chunks)]
+        site.fs.corrupt(victim.path)
+        self._flash_span("fault:chunk_corrupt", event.target,
+                         path=victim.path)
+
+    def _apply_site_wipe(self, event: FaultEvent) -> None:
+        """Lose the target site's entire chunk store: every file under
+        the ``chunks/`` prefix is deleted (a dead disk array).  The host
+        stays up — probes answer "no such file" and repair re-uploads
+        land normally."""
+        site = self.grid.site(event.target)
+        wiped = 0
+        for stored in site.fs.listing(self._CHUNK_PREFIX):
+            site.fs.delete(stored.path)
+            wiped += 1
+        self.monitor.count("chunks_wiped", wiped)
+        self._flash_span("fault:site_wipe", event.target, wiped=wiped)
+
     # -- workload pipeline components -------------------------------------------
     def _workload_component(self, name: str):
         engine = getattr(self.grid, "workload", None)

@@ -21,6 +21,7 @@ from repro.gridftp.markers import RangeSet
 from repro.simulation.kernel import Process, Simulator
 from repro.simulation.monitor import Monitor
 from repro.storage.filesystem import FileSystem, StoredFile
+from repro.storage.integrity import mixed_content_id
 
 __all__ = ["DataMover", "DataMoverError", "TransferAbandoned", "MoveReport"]
 
@@ -134,6 +135,10 @@ class DataMover:
                     progress = RangeSet()
                     consumed = 0    # restarts that actually gained bytes
                     stalled = 0     # consecutive zero-progress restarts
+                    # content ids of aborted attempts whose bytes are on
+                    # disk (consumed markers); if any differs from the
+                    # final attempt's, the assembly is mixed content
+                    contributed: list[str] = []
                     # inner loop: restart-marker recovery of one transfer
                     while True:
                         attempts += 1
@@ -155,6 +160,9 @@ class DataMover:
                                 # consumed, and only then burns budget
                                 consumed += 1
                                 stalled = 0
+                                descriptor = exc.descriptor
+                                if descriptor is not None:
+                                    contributed.append(descriptor.content_id)
                                 self.monitor.count("restarts")
                                 if self.metrics is not None:
                                     self.metrics.counter(
@@ -186,6 +194,20 @@ class DataMover:
                                     yield self.sim.timeout(self.stall_backoff)
                             restart = progress if len(progress) else None
                     stored = self.fs.stat(local_path)
+                    if any(c != stored.content_id for c in contributed):
+                        # an earlier aborted attempt delivered *different*
+                        # bytes (e.g. one-shot injected corruption consumed
+                        # by that attempt): the file is a mixed assembly.
+                        # Restamp it so its CRC matches neither source —
+                        # the check below then purges and re-transfers.
+                        stored.content_id = mixed_content_id(
+                            [*contributed, stored.content_id]
+                        )
+                        self.monitor.count("mixed_assemblies")
+                        if self.metrics is not None:
+                            self.metrics.counter(
+                                "gdmp.mover.mixed_assemblies", site=self.site
+                            ).inc()
                     if stored.crc == crc:
                         self.monitor.count("bytes_moved", stored.size)
                         self.monitor.count("files_moved")

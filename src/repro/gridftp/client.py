@@ -48,6 +48,16 @@ class TransferError(Exception):
             return self.reply.payload.get("restart_marker")
         return None
 
+    @property
+    def descriptor(self) -> Optional["TransferDescriptor"]:
+        """The descriptor of the aborted attempt, when the server's 426
+        carried one — what the interrupted transfer *was* delivering.
+        A restart-recovery loop needs this to notice that an earlier
+        attempt served different content than the final one."""
+        if self.reply and isinstance(self.reply.payload, dict):
+            return self.reply.payload.get("descriptor")
+        return None
+
 
 @dataclass(frozen=True)
 class TransferResult:
@@ -249,8 +259,20 @@ class GridFTPClient:
         return self._simple_query(session, "MDTM", path)
 
     def checksum(self, session: ClientSession, path: str) -> Process:
-        """CKSM: remote CRC32 (GDMP's end-to-end corruption check)."""
+        """CKSM: remote CRC32 (GDMP's end-to-end corruption check; the
+        value is :func:`repro.storage.integrity.file_crc` of the remote
+        file's content identity)."""
         return self._simple_query(session, "CKSM", path)
+
+    def delete(self, session: ClientSession, path: str) -> Process:
+        """DELE: remove a remote file (repair-path eviction)."""
+        def run():
+            reply, _ = yield from self._command(session, "DELE", path)
+            if not reply.is_success:
+                raise TransferError(f"DELE {path} failed: {reply}", reply)
+            return True
+
+        return self.sim.spawn(run(), name="gridftp-dele")
 
     def _simple_query(self, session: ClientSession, verb: str, path: str) -> Process:
         def run():

@@ -52,6 +52,7 @@ KNOWN_COMMANDS = {
     "SIZE",
     "MDTM",
     "CKSM",
+    "DELE",
     "ABOR",
     "QUIT",
 }

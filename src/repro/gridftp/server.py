@@ -41,6 +41,7 @@ from repro.services.tracelog import TraceLog
 from repro.simulation.kernel import Simulator
 from repro.simulation.monitor import Monitor
 from repro.storage.filesystem import FileSystem, StorageError
+from repro.storage.integrity import corrupt_content_id, partial_content_id
 
 __all__ = ["GridFTPServer", "FailureInjector", "TransferDescriptor"]
 
@@ -53,7 +54,7 @@ _FANOUT_BOUNDS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
 #: The FTP verbs this daemon implements, each a bus operation.
 VERBS = (
     "AUTH", "ADAT", "FEAT", "SBUF", "OPTS", "REST", "SIZE", "MDTM",
-    "CKSM", "ABOR", "QUIT", "RETR", "ERET", "ESTO", "STOR",
+    "CKSM", "ABOR", "QUIT", "RETR", "ERET", "ESTO", "STOR", "DELE",
 )
 
 
@@ -309,6 +310,14 @@ class GridFTPServer:
     def _cmd_abor(self, request: ServiceRequest):
         return Reply(226, "ABOR processed")
 
+    def _cmd_dele(self, request: ServiceRequest):
+        """DELE: remove a remote file (the repair daemon's tool for
+        evicting a corrupt chunk replica before re-uploading it)."""
+        stored = self._stat_or_fault(request.payload.argument)
+        self.fs.delete(stored.path)
+        self.monitor.count("files_deleted")
+        return Reply(250, f"{stored.path} deleted")
+
     def _cmd_quit(self, request: ServiceRequest):
         session: _Session = request.state["session"]
         self._sessions.pop(session.session_id, None)
@@ -345,10 +354,10 @@ class GridFTPServer:
 
         content_id = stored.content_id
         if self.failures.take_corruption(path):
-            content_id = "corrupted:" + content_id
+            content_id = corrupt_content_id(content_id)
             self.monitor.count("corrupted_transfers")
         if offset > 0 or (length is not None and total < stored.size):
-            content_id = f"{content_id}#{offset:.0f}+{total:.0f}"
+            content_id = partial_content_id(content_id, offset, total)
         descriptor = TransferDescriptor(
             path=path,
             size=total,

@@ -12,20 +12,19 @@ may attach a ``payload`` object; payloads travel with copies.
 
 from __future__ import annotations
 
-import zlib
 from dataclasses import dataclass, field, replace
 from typing import Any, Optional
+
+# Re-exported for the many call sites that import it from here; the
+# canonical definition (with the corruption/partial/mixed markers it
+# pairs with) lives in repro.storage.integrity.
+from repro.storage.integrity import corrupt_content_id, file_crc
 
 __all__ = ["StorageError", "StoredFile", "FileSystem", "file_crc"]
 
 
 class StorageError(Exception):
     """Missing file, exhausted capacity, or invalid operation."""
-
-
-def file_crc(content_id: str) -> int:
-    """CRC32 of the content identity — the mover's end-to-end checksum."""
-    return zlib.crc32(content_id.encode("utf-8"))
 
 
 @dataclass
@@ -155,7 +154,7 @@ class FileSystem:
         """Failure injection: silently damage the stored content so the
         CRC no longer matches the original."""
         stored = self.stat(path)
-        stored.content_id = "corrupted:" + stored.content_id
+        stored.content_id = corrupt_content_id(stored.content_id)
 
     # -- I/O timing ---------------------------------------------------------
     def read_time(self, nbytes: float) -> float:

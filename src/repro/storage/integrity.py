@@ -1,0 +1,111 @@
+"""Content-identity integrity: the one place CRC semantics live.
+
+The grid moves multi-GB files as *content identity* tokens rather than
+real bytes; the end-to-end CRC GDMP layers over TCP (§4.3) is derived
+from that token.  Before this module the derivation — and the marker
+conventions for corrupted and partial content — were duplicated across
+the filesystem, the GridFTP server's send path and the client's CKSM
+handling.  They now share one vocabulary:
+
+* :func:`file_crc` — CRC32 of the identity token; a faithful copy
+  (same token) always matches, any token change never does.
+* ``corrupted:`` prefix — injected damage (:func:`corrupt_content_id`).
+  Prefixing, not hashing, so repeated corruption stays visible and a
+  corrupted token can never collide back onto the original.
+* ``#<offset>+<length>`` suffix — a partial transfer
+  (:func:`partial_content_id`).  Any strict subrange of a file yields a
+  token distinct from the whole file's, so a partial copy can never
+  CRC-match the original.
+* :func:`mixed_content_id` — a file assembled from byte ranges of
+  *different* source contents (e.g. a restarted transfer whose earlier
+  attempt served corrupted data).  The mixed token differs from every
+  contributing token, so the assembly can never inherit a clean CRC it
+  did not earn.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Iterable
+
+__all__ = [
+    "CORRUPTION_PREFIX",
+    "file_crc",
+    "verify_crc",
+    "corrupt_content_id",
+    "is_corrupted",
+    "partial_content_id",
+    "is_partial",
+    "mixed_content_id",
+]
+
+#: prefix marking injected damage; ``file_crc`` of a prefixed token can
+#: never equal the original's (the token differs)
+CORRUPTION_PREFIX = "corrupted:"
+
+#: prefix marking a mixed assembly (see :func:`mixed_content_id`)
+_MIXED_PREFIX = "mixed:"
+
+
+def file_crc(content_id: str) -> int:
+    """CRC32 of the content identity — the mover's end-to-end checksum."""
+    return zlib.crc32(content_id.encode("utf-8"))
+
+
+def verify_crc(content_id: str, expected_crc: int) -> bool:
+    """Whether content matches a catalog/manifest CRC."""
+    return file_crc(content_id) == expected_crc
+
+
+def corrupt_content_id(content_id: str) -> str:
+    """The token after silent damage (failure injection)."""
+    return CORRUPTION_PREFIX + content_id
+
+
+def is_corrupted(content_id: str) -> bool:
+    """Whether a token carries (any layer of) injected damage."""
+    return content_id.startswith(CORRUPTION_PREFIX)
+
+
+def partial_content_id(content_id: str, offset: float, length: float) -> str:
+    """The token of a strict subrange of a file's content.
+
+    Used by partial transfers (ERET, restarted RETR): the subrange is
+    different content, so it gets a different token — and therefore a
+    different CRC — than the whole file.
+    """
+    return f"{content_id}#{offset:.0f}+{length:.0f}"
+
+
+def is_partial(content_id: str) -> bool:
+    """Whether a token names a subrange rather than whole content."""
+    base = content_id
+    if "#" not in base:
+        return False
+    tail = base.rsplit("#", 1)[1]
+    if "+" not in tail:
+        return False
+    offset, _, length = tail.partition("+")
+    try:
+        float(offset), float(length)
+    except ValueError:
+        return False
+    return True
+
+
+def mixed_content_id(contributions: Iterable[str]) -> str:
+    """The token of a file assembled from ranges of differing contents.
+
+    A restarted transfer normally resumes the *same* content, and the
+    final attempt's token describes the whole file.  But when an earlier
+    aborted attempt served different bytes (injected corruption consumed
+    by that attempt), the bytes on disk are a mixture: stamping them
+    with the final attempt's clean token would hand the file a CRC it
+    does not deserve.  The mixed token folds every contributing token
+    together, ordered, so it differs from each of them — the CRC check
+    one layer up then treats the file as the damaged object it is.
+    """
+    parts = sorted(set(contributions))
+    if len(parts) == 1:
+        return parts[0]
+    return _MIXED_PREFIX + "|".join(parts)

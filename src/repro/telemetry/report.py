@@ -75,6 +75,16 @@ def _digest(kind: str, child) -> str:
 #: the per-pair gauge families the grid-weather table joins on (src, dst)
 _WEATHER_PAIR_PREFIX = "weather.pair."
 
+#: the chunk-durability families pulled out of the per-subsystem tables
+#: into their own scrub/repair section
+_SCRUB_FAMILIES = frozenset({
+    "chunks.scrub",
+    "chunks.scrub_passes",
+    "chunks.scrub_backlog",
+    "chunks.repair",
+    "chunks.repair_backlog",
+})
+
 
 def _weather_rows(registry: MetricsRegistry) -> dict:
     """(src, dst) -> {metric suffix: value} from the weather.pair gauges."""
@@ -142,6 +152,30 @@ def _weather_section(registry: MetricsRegistry, top_n: int) -> list[str]:
     return lines
 
 
+def _chunks_section(registry: MetricsRegistry) -> list[str]:
+    """The scrub/repair table: probe outcomes, repair work, and the
+    backlog gauges an operator watches for a repair loop falling
+    behind its damage rate."""
+    rows = []
+    for name in sorted(_SCRUB_FAMILIES):
+        for child in registry.children(name):
+            rows.append((name, _labels_text(child.labels),
+                         _fmt(child.value)))
+    if not rows:
+        return []
+    lines = ["", "-- scrub/repair --"]
+    lines.extend(_table(("metric", "labels", "value"), rows))
+    backlog = (
+        registry.value("chunks.scrub_backlog")
+        + registry.value("chunks.repair_backlog")
+    )
+    if backlog:
+        lines.append(
+            f"!! scrub/repair backlog: {_fmt(backlog)} tasks outstanding"
+        )
+    return lines
+
+
 def render_health_report(
     registry: Optional[MetricsRegistry],
     tracelog: Optional[TraceLog] = None,
@@ -165,6 +199,8 @@ def render_health_report(
         for name in registry.families():
             if name.startswith(_WEATHER_PAIR_PREFIX):
                 continue  # joined into the grid-weather table below
+            if name in _SCRUB_FAMILIES:
+                continue  # rendered in the scrub/repair section below
             kind = registry.kind(name)
             subsystem = name.split(".", 1)[0]
             for child in registry.children(name):
@@ -182,6 +218,7 @@ def render_health_report(
                 )
             )
         lines.extend(_weather_section(registry, top_n))
+        lines.extend(_chunks_section(registry))
 
     if tracelog is not None and len(tracelog):
         finished = [s for s in tracelog.spans() if s.end is not None]

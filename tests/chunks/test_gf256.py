@@ -1,0 +1,181 @@
+"""GF(256) field laws and Reed–Solomon edge cases.
+
+The erasure coder is the durability contract's foundation: any k of the
+k+m stripe members must reconstruct the data bit-exactly, including the
+degenerate shapes (k=1 replication, m=0 striping) and the worst
+erasure patterns (all parity lost, all data lost).
+"""
+
+import random
+
+import pytest
+
+from repro.chunks.gf256 import GF256, ReedSolomon, gf_inv, gf_mul, gf_pow
+
+
+def _shards(rng, k, width=32):
+    return [bytes(rng.randrange(256) for _ in range(width)) for _ in range(k)]
+
+
+# -- field laws -----------------------------------------------------------
+
+def test_mul_matches_schoolbook_carryless_reduction():
+    def slow_mul(a, b):
+        acc = 0
+        while b:
+            if b & 1:
+                acc ^= a
+            a <<= 1
+            if a & 0x100:
+                a ^= 0x11D
+            b >>= 1
+        return acc
+
+    rng = random.Random(2001)
+    for _ in range(500):
+        a, b = rng.randrange(256), rng.randrange(256)
+        assert gf_mul(a, b) == slow_mul(a, b)
+
+
+def test_every_nonzero_element_has_an_inverse():
+    for a in range(1, 256):
+        assert gf_mul(a, gf_inv(a)) == 1
+
+
+def test_zero_has_no_inverse():
+    with pytest.raises(ZeroDivisionError):
+        gf_inv(0)
+
+
+def test_pow_conventions():
+    assert gf_pow(0, 0) == 1      # Vandermonde row 0 needs 0^0 = 1
+    assert gf_pow(0, 7) == 0
+    assert gf_pow(5, 1) == 5
+    for a in (2, 3, 200):
+        assert gf_pow(a, 255) == 1  # multiplicative group order
+
+
+def test_namespace_handle_exposes_tables():
+    assert GF256.mul(3, 7) == gf_mul(3, 7)
+    assert len(GF256.exp) == 512 and len(GF256.log) == 256
+
+
+# -- coder construction ---------------------------------------------------
+
+def test_systematic_top_block_is_identity():
+    coder = ReedSolomon(4, 2)
+    for i in range(4):
+        assert coder.matrix[i] == [int(i == j) for j in range(4)]
+
+
+def test_invalid_shapes_rejected():
+    with pytest.raises(ValueError):
+        ReedSolomon(0, 2)
+    with pytest.raises(ValueError):
+        ReedSolomon(4, -1)
+    with pytest.raises(ValueError):
+        ReedSolomon(200, 100)     # k + m > 255
+
+
+def test_shard_validation():
+    coder = ReedSolomon(3, 2)
+    with pytest.raises(ValueError):
+        coder.encode([b"ab", b"cd"])          # wrong count
+    with pytest.raises(ValueError):
+        coder.encode([b"ab", b"cd", b"efg"])  # unequal widths
+
+
+# -- round trips ----------------------------------------------------------
+
+def test_any_k_of_n_randomized():
+    rng = random.Random(7)
+    for k, m in [(4, 2), (3, 3), (6, 1), (2, 4)]:
+        coder = ReedSolomon(k, m)
+        data = _shards(rng, k)
+        stripe = coder.encode_stripe(data)
+        for _ in range(25):
+            survivors = rng.sample(range(k + m), k)
+            available = {i: stripe[i] for i in survivors}
+            assert coder.decode(available) == data
+
+
+def test_all_parity_lost_is_systematic_passthrough():
+    coder = ReedSolomon(4, 2)
+    data = _shards(random.Random(1), 4)
+    stripe = coder.encode_stripe(data)
+    available = {i: stripe[i] for i in range(4)}
+    assert coder.decode(available) == data
+
+
+def test_all_data_lost_decodes_from_parity():
+    coder = ReedSolomon(2, 2)
+    data = _shards(random.Random(2), 2)
+    stripe = coder.encode_stripe(data)
+    available = {2: stripe[2], 3: stripe[3]}
+    assert coder.decode(available) == data
+
+
+def test_k1_is_replication():
+    coder = ReedSolomon(1, 3)
+    data = _shards(random.Random(3), 1)
+    stripe = coder.encode_stripe(data)
+    for index in range(4):
+        assert coder.decode({index: stripe[index]}) == data
+
+
+def test_m0_is_pure_striping():
+    coder = ReedSolomon(4, 0)
+    data = _shards(random.Random(4), 4)
+    assert coder.encode(data) == []
+    stripe = coder.encode_stripe(data)
+    assert stripe == data
+    assert coder.decode({i: stripe[i] for i in range(4)}) == data
+    with pytest.raises(ValueError):
+        coder.decode({i: stripe[i] for i in range(3)})
+
+
+def test_too_few_survivors_rejected():
+    coder = ReedSolomon(4, 2)
+    data = _shards(random.Random(5), 4)
+    stripe = coder.encode_stripe(data)
+    with pytest.raises(ValueError):
+        coder.decode({0: stripe[0], 1: stripe[1], 2: stripe[2]})
+    with pytest.raises(ValueError):
+        coder.decode({0: stripe[0], 9: stripe[0]})  # index out of range
+
+
+# -- repair ---------------------------------------------------------------
+
+def test_reconstruct_rebuilds_exactly_the_missing_members():
+    rng = random.Random(11)
+    coder = ReedSolomon(4, 2)
+    data = _shards(rng, 4)
+    stripe = coder.encode_stripe(data)
+    for _ in range(20):
+        missing = rng.sample(range(6), 2)
+        available = {
+            i: stripe[i] for i in range(6) if i not in missing
+        }
+        rebuilt = coder.reconstruct(available, missing)
+        assert set(rebuilt) == set(missing)
+        for index in missing:
+            assert rebuilt[index] == stripe[index]
+
+
+def test_reconstruct_parity_from_mixed_survivors():
+    coder = ReedSolomon(3, 2)
+    data = _shards(random.Random(13), 3)
+    stripe = coder.encode_stripe(data)
+    # lose data shard 0 and parity shard 4; survivors are 1, 2, 3
+    rebuilt = coder.reconstruct(
+        {1: stripe[1], 2: stripe[2], 3: stripe[3]}, [0, 4]
+    )
+    assert rebuilt[0] == stripe[0]
+    assert rebuilt[4] == stripe[4]
+
+
+def test_encoding_is_deterministic_across_instances():
+    data = _shards(random.Random(17), 4)
+    first = ReedSolomon(4, 2).encode_stripe(data)
+    second = ReedSolomon(4, 2).encode_stripe(data)
+    assert first == second

@@ -1,0 +1,111 @@
+"""Manifests, content addressing, and placement determinism."""
+
+import pytest
+
+from repro.chunks.manifest import (
+    Manifest,
+    build_manifest,
+    chunk_content_id,
+    chunk_crc,
+    chunk_id_of,
+    object_fingerprint,
+    witness,
+)
+from repro.chunks.placement import place_stripe, stripe_start
+from repro.storage.integrity import file_crc
+
+
+# -- witnesses and chunk ids ----------------------------------------------
+
+def test_witness_is_deterministic_and_index_distinct():
+    assert witness("key", 0, 4) == witness("key", 0, 4)
+    seen = {witness("key", i, 4) for i in range(4)}
+    assert len(seen) == 4
+
+
+def test_witness_folds_in_stripe_shape():
+    assert witness("key", 0, 4) != witness("key", 0, 8)
+
+
+def test_chunk_crc_derives_from_content_identity():
+    cid = chunk_id_of(b"some witness bytes")
+    assert chunk_crc(cid) == file_crc(chunk_content_id(cid))
+
+
+# -- manifest construction ------------------------------------------------
+
+def test_build_manifest_shape_and_determinism():
+    manifest, witnesses = build_manifest("obj", 1000.0, "key", 4, 2)
+    assert len(manifest.chunks) == 6
+    assert [s.kind for s in manifest.chunks] == ["data"] * 4 + ["parity"] * 2
+    assert manifest.chunk_size == 250.0
+    assert set(witnesses) == {s.chunk_id for s in manifest.chunks}
+    again, _ = build_manifest("obj", 1000.0, "key", 4, 2)
+    assert again.repr_line() == manifest.repr_line()
+
+
+def test_shared_content_key_shares_every_chunk_id():
+    first, _ = build_manifest("obj-a", 1000.0, "shared", 4, 2)
+    twin, _ = build_manifest("obj-b", 1000.0, "shared", 4, 2)
+    assert [s.chunk_id for s in first.chunks] == \
+        [s.chunk_id for s in twin.chunks]
+    assert first.fingerprint == twin.fingerprint
+
+
+def test_different_content_keys_share_nothing():
+    first, _ = build_manifest("obj", 1000.0, "key-1", 4, 2)
+    second, _ = build_manifest("obj", 1000.0, "key-2", 4, 2)
+    assert not (
+        {s.chunk_id for s in first.chunks}
+        & {s.chunk_id for s in second.chunks}
+    )
+
+
+def test_fingerprint_covers_data_witnesses_and_size():
+    data = [witness("key", i, 4) for i in range(4)]
+    assert object_fingerprint(data, 1000.0) != object_fingerprint(data, 999.0)
+    reordered = [data[1], data[0], *data[2:]]
+    assert object_fingerprint(data, 1000.0) != \
+        object_fingerprint(reordered, 1000.0)
+
+
+def test_wire_round_trip():
+    manifest, _ = build_manifest("obj", 1000.0, "key", 3, 2)
+    assert Manifest.from_wire(manifest.to_wire()) == manifest
+
+
+def test_negative_size_rejected():
+    with pytest.raises(ValueError):
+        build_manifest("obj", -1.0, "key", 4, 2)
+
+
+# -- placement ------------------------------------------------------------
+
+SITES = ["s1", "s2", "s3", "s4", "s5", "s6"]
+
+
+def test_stripe_members_land_on_distinct_sites():
+    targets = place_stripe("obj", SITES, 6)
+    assert sorted(targets) == sorted(SITES)
+
+
+def test_placement_is_a_pure_function():
+    assert place_stripe("obj", SITES, 6, salt=9) == \
+        place_stripe("obj", list(reversed(SITES)), 6, salt=9)
+
+
+def test_salt_and_name_move_the_stripe():
+    starts = {
+        stripe_start(f"obj-{i}", len(SITES), salt=1) for i in range(50)
+    }
+    assert len(starts) > 1
+    assert any(
+        place_stripe("obj", SITES, 6, salt=a) !=
+        place_stripe("obj", SITES, 6, salt=b)
+        for a, b in [(0, 1), (1, 2), (2, 3)]
+    )
+
+
+def test_stripe_wider_than_pool_is_rejected():
+    with pytest.raises(ValueError):
+        place_stripe("obj", SITES[:3], 4)

@@ -6,9 +6,11 @@ from repro.faults import (
     FaultCampaign,
     FaultEvent,
     catalog_blackhole_campaign,
+    chunk_corrupt_campaign,
     crash_restart_campaign,
     link_flap_campaign,
     mss_stall_campaign,
+    site_wipe_campaign,
     weather_blackhole_campaign,
 )
 from repro.simulation.randomness import RandomStreams
@@ -22,6 +24,8 @@ def _builders(seed):
         mss_stall_campaign(streams, "a"),
         catalog_blackhole_campaign(streams, "a"),
         weather_blackhole_campaign(streams, "a"),
+        chunk_corrupt_campaign(streams, ["a", "b", "c"]),
+        site_wipe_campaign(streams, ["a", "b", "c"]),
     ]
 
 
@@ -84,6 +88,35 @@ def test_empty_target_lists_rejected():
         link_flap_campaign(streams, [])
     with pytest.raises(ValueError):
         crash_restart_campaign(streams, [])
+
+
+def test_site_wipe_victims_are_distinct():
+    streams = RandomStreams(2001)
+    campaign = site_wipe_campaign(streams, ["a", "b", "c", "d"], wipes=3)
+    victims = [ev.target for ev in campaign.events]
+    assert len(victims) == 3
+    assert len(set(victims)) == 3
+
+
+def test_site_wipe_cannot_exceed_site_pool():
+    streams = RandomStreams(2001)
+    with pytest.raises(ValueError, match="distinct sites"):
+        site_wipe_campaign(streams, ["a", "b"], wipes=3)
+    with pytest.raises(ValueError):
+        site_wipe_campaign(streams, [])
+
+
+def test_chunk_corrupt_events_carry_victim_selectors():
+    streams = RandomStreams(2001)
+    campaign = chunk_corrupt_campaign(streams, ["a", "b"], corruptions=5)
+    assert len(campaign.events) == 5
+    for ev in campaign.events:
+        assert ev.kind == "chunk_corrupt"
+        # the pre-drawn selector is what makes the schedule frozen while
+        # the victim file adapts to fire-time placement
+        assert ev.param is not None and ev.param >= 0
+    with pytest.raises(ValueError):
+        chunk_corrupt_campaign(streams, [])
 
 
 def test_schedule_repr_carries_every_event():

@@ -1,0 +1,94 @@
+"""Property tests for the shared content-identity integrity vocabulary.
+
+The contract `repro.storage.integrity` owes every caller: a faithful
+copy always CRC-matches, and *any* tampering — corruption, a partial
+range, a mixed assembly — never does.
+"""
+
+import random
+import string
+
+from repro.storage.integrity import (
+    CORRUPTION_PREFIX,
+    corrupt_content_id,
+    file_crc,
+    is_corrupted,
+    is_partial,
+    mixed_content_id,
+    partial_content_id,
+    verify_crc,
+)
+
+
+def _tokens(n=200, seed=2001):
+    rng = random.Random(seed)
+    alphabet = string.ascii_letters + string.digits + ":/-_."
+    return [
+        "".join(rng.choice(alphabet) for _ in range(rng.randrange(1, 40)))
+        for _ in range(n)
+    ]
+
+
+def test_faithful_copy_always_matches():
+    for token in _tokens():
+        assert verify_crc(token, file_crc(token))
+
+
+def test_corruption_is_always_detected():
+    for token in _tokens():
+        damaged = corrupt_content_id(token)
+        assert damaged != token
+        assert not verify_crc(damaged, file_crc(token))
+        assert is_corrupted(damaged)
+
+
+def test_repeated_corruption_stays_visible_and_never_collides_back():
+    token = "content-xyz"
+    once = corrupt_content_id(token)
+    twice = corrupt_content_id(once)
+    assert twice == CORRUPTION_PREFIX + CORRUPTION_PREFIX + token
+    assert len({file_crc(token), file_crc(once), file_crc(twice)}) == 3
+
+
+def test_partial_range_never_matches_the_whole(seed=7):
+    rng = random.Random(seed)
+    for token in _tokens(50):
+        offset = float(rng.randrange(0, 1000))
+        length = float(rng.randrange(1, 1000))
+        part = partial_content_id(token, offset, length)
+        assert part != token
+        assert not verify_crc(part, file_crc(token))
+        assert is_partial(part)
+
+
+def test_distinct_ranges_get_distinct_tokens():
+    token = "content-abc"
+    assert partial_content_id(token, 0, 10) != partial_content_id(token, 0, 20)
+    assert partial_content_id(token, 0, 10) != partial_content_id(token, 5, 10)
+
+
+def test_is_partial_rejects_lookalikes():
+    assert not is_partial("plain-token")
+    assert not is_partial("has#hash-but-no-range")
+    assert not is_partial("trailing#x+y")
+
+
+def test_mixed_assembly_differs_from_every_contributor():
+    for contributors in (
+        ["a", "b"],
+        ["a", "b", "c"],
+        ["clean", CORRUPTION_PREFIX + "clean"],
+    ):
+        mixed = mixed_content_id(contributors)
+        for token in contributors:
+            assert mixed != token
+            assert file_crc(mixed) != file_crc(token)
+
+
+def test_mixed_of_one_content_is_that_content():
+    # a restart that resumed the *same* content is not a mixture
+    assert mixed_content_id(["same", "same"]) == "same"
+
+
+def test_mixed_is_order_independent():
+    assert mixed_content_id(["b", "a"]) == mixed_content_id(["a", "b"])

@@ -59,6 +59,11 @@ echo "== weather: selection quality + degradation + determinism (smoke) =="
 python tools/weather_smoke.py
 python tools/perf_report.py --weather --smoke --output - > /dev/null
 
+echo "== chunks: erasure-coded durability + repair economics (smoke) =="
+python tools/chunks_smoke.py
+python benchmarks/bench_chunks.py --smoke > /dev/null
+python tools/perf_report.py --chunks --smoke --output - > /dev/null
+
 if command -v ruff > /dev/null 2>&1; then
     echo "== ruff =="
     ruff check src tests benchmarks tools

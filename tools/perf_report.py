@@ -47,6 +47,16 @@ the probe-only static leg's mean completion time by the hard
 degradation leg converged — so the margin is never bought by a policy
 that falls over when its telemetry does.
 
+``--chunks`` measures the erasure-coded chunk stack: the pure-python
+GF(256) Reed–Solomon coder's wall-clock throughput (encode, worst-case
+decode, single-member reconstruct) plus the EXP-CHUNKS repair-economics
+legs (see ``benchmarks/bench_chunks.py``).  Written to
+``BENCH_chunks.json`` and gated: chunked repair must move strictly
+fewer bytes than whole-file re-replication on the ``site_wipe`` leg
+(the hard ``CHUNKS_MIN_SAVINGS`` bound), with both fault campaigns
+converged — every injected damage detected, every fetch
+byte-identical, the claim queue drained.
+
 ``--smoke`` runs shrunk scenarios and skips the figure sweeps (used by
 ``tools/ci_check.sh`` as a fast sanity gate; it does not overwrite the
 committed record unless ``--output`` says so).
@@ -188,6 +198,32 @@ WEATHER_REGRESSION_TOLERANCE = 0.20
 #: probe-only static leg's mean completion time under congestion by at
 #: least this factor, in both modes — no tolerance applied
 WEATHER_MIN_IMPROVEMENT = 1.05
+
+
+#: Recorded chunk-stack baseline.  The coder floors sit ~2x under the
+#: reference 1-CPU box's measurements (~245 MB/s encode, ~200 MB/s
+#: decode, ~290 MB/s reconstruct at 256 KiB shards, k=4 m=2) so the 20%
+#: gate has headroom against timer noise while still catching the
+#: regression that matters: the whole-shard ``bytes.translate``/big-int
+#: XOR fast path degrading to per-byte ``gf_mul`` loops, which collapses
+#: throughput by two orders of magnitude.  ``repair_savings`` (whole-file
+#: re-replication bytes over chunked repair bytes on the site_wipe leg)
+#: is a *deterministic* simulation output — (k+L)/k vs L object-sizes =
+#: 1.333x at k=4, L=2 — and the hard ``CHUNKS_MIN_SAVINGS`` bound below
+#: is the acceptance claim itself, which tolerance does not soften.
+CHUNKS_BASELINE = {
+    "recorded": True,
+    "full": {"encode_mb_s": 120.0, "decode_mb_s": 100.0,
+             "reconstruct_mb_s": 140.0, "repair_savings": 1.30},
+    "smoke": {"encode_mb_s": 120.0, "decode_mb_s": 100.0,
+              "reconstruct_mb_s": 140.0, "repair_savings": 1.30},
+}
+
+CHUNKS_REGRESSION_TOLERANCE = 0.20
+
+#: hard acceptance bound: chunked repair on the site_wipe leg must move
+#: strictly fewer bytes than whole-file re-replication — no tolerance
+CHUNKS_MIN_SAVINGS = 1.0
 
 
 def _median_wall(fn) -> float:
@@ -480,6 +516,68 @@ def build_weather_report(smoke: bool = False) -> dict:
     }
 
 
+def build_chunks_report(smoke: bool = False) -> dict:
+    """Measure the erasure-coded chunk stack; gated record."""
+    import bench_chunks
+
+    result = bench_chunks.run_bench(smoke=smoke)
+    current = dict(result)
+    # hoisted copies of the gated metrics, mirroring the other records
+    current["encode_mb_s"] = result["coder"]["encode_mb_s"]
+    current["decode_mb_s"] = result["coder"]["decode_mb_s"]
+    current["reconstruct_mb_s"] = result["coder"]["reconstruct_mb_s"]
+    current["repair_savings"] = result["site_wipe"]["repair_savings"]
+    return {
+        "generated_by": "tools/perf_report.py --chunks",
+        "protocol": {
+            "scenario": "GF(256) Reed-Solomon stripes (k=4, m=2) on real "
+                        "shard bytes, plus EXP-CHUNKS at a fixed seed "
+                        "under the chunk_corrupt and site_wipe campaigns "
+                        "(bench_chunks.run_bench)",
+            "metric": "coder MB/s are wall clock; repair_savings = "
+                      "whole-file re-replication bytes / chunked repair "
+                      "bytes on the site_wipe leg, deterministic "
+                      "simulation",
+            "chaos": "both campaign legs must converge (every damage "
+                     "detected, every fetch byte-identical, queue "
+                     "drained) before the savings are recorded",
+            "baseline": "recorded conservative floors; gate fails metrics "
+                        f">{CHUNKS_REGRESSION_TOLERANCE:.0%} below them, "
+                        f"or repair_savings <= {CHUNKS_MIN_SAVINGS} "
+                        "(the hard acceptance bound)",
+        },
+        "baseline": CHUNKS_BASELINE,
+        "current": current,
+    }
+
+
+def check_chunks_regressions(report: dict) -> list[str]:
+    """Gated chunk metrics below their floors (or the hard bound)."""
+    mode = report["current"]["mode"]
+    floors = report["baseline"].get(mode, {})
+    failures = []
+    for metric, floor in floors.items():
+        measured = report["current"].get(metric)
+        if measured is None:
+            failures.append(f"{metric}: missing from the current record")
+        elif measured < floor * (1.0 - CHUNKS_REGRESSION_TOLERANCE):
+            failures.append(
+                f"{metric}: {measured:.2f} is >"
+                f"{CHUNKS_REGRESSION_TOLERANCE:.0%} below the recorded "
+                f"baseline floor {floor:.2f}"
+            )
+    savings = report["current"].get("repair_savings")
+    if savings is not None and savings <= CHUNKS_MIN_SAVINGS:
+        failures.append(
+            f"repair_savings: {savings:.3f} breaks the hard "
+            f">{CHUNKS_MIN_SAVINGS}x acceptance bound"
+        )
+    for leg in ("chunk_corrupt", "site_wipe"):
+        if not report["current"].get(leg, {}).get("converged"):
+            failures.append(f"chaos leg: {leg} campaign did not converge")
+    return failures
+
+
 def check_weather_regressions(report: dict) -> list[str]:
     """Gated weather metrics below their floors (or the hard bound)."""
     mode = report["current"]["mode"]
@@ -638,6 +736,11 @@ def main(argv: list[str] | None = None) -> int:
                              "observation plane + EXP-WEATHER selection "
                              "quality); writes BENCH_weather.json and "
                              "exits non-zero on a gated regression")
+    parser.add_argument("--chunks", action="store_true",
+                        help="measure the erasure-coded chunk stack "
+                             "(GF(256) coder throughput + EXP-CHUNKS "
+                             "repair economics); writes BENCH_chunks.json "
+                             "and exits non-zero on a gated regression")
     parser.add_argument("--output", type=Path, default=None,
                         help="where to write the JSON record "
                              "(default: BENCH_netsim.json / "
@@ -656,6 +759,8 @@ def main(argv: list[str] | None = None) -> int:
         report = build_rls_report(smoke=args.smoke)
     elif args.weather:
         report = build_weather_report(smoke=args.smoke)
+    elif args.chunks:
+        report = build_chunks_report(smoke=args.smoke)
     else:
         report = build_report(smoke=args.smoke)
     text = json.dumps(report, indent=2, sort_keys=True) + "\n"
@@ -675,6 +780,8 @@ def main(argv: list[str] | None = None) -> int:
             target = REPO_ROOT / "BENCH_rls.json"
         elif args.weather:
             target = REPO_ROOT / "BENCH_weather.json"
+        elif args.chunks:
+            target = REPO_ROOT / "BENCH_chunks.json"
         elif args.flow_scale:
             # the flow-scale record rides in BENCH_netsim.json next to the
             # micro/figure record instead of claiming its own file
@@ -747,6 +854,26 @@ def main(argv: list[str] | None = None) -> int:
               f"{current['chaos']['probe_fallbacks']} probe fallbacks, "
               f"converged={current['chaos']['converged']}")
         failures = check_weather_regressions(report)
+        for failure in failures:
+            print(f"REGRESSION: {failure}")
+        return 1 if failures else 0
+    if args.chunks:
+        current = report["current"]
+        coder = current["coder"]
+        wipe = current["site_wipe"]
+        print(f"  coder (k={coder['k']}, m={coder['m']}, "
+              f"{coder['shard_bytes']} B shards): "
+              f"encode {current['encode_mb_s']:.0f} MB/s, "
+              f"decode {current['decode_mb_s']:.0f} MB/s, "
+              f"reconstruct {current['reconstruct_mb_s']:.0f} MB/s")
+        print(f"  site_wipe leg: {wipe['chunks_repaired']} chunks rebuilt, "
+              f"{wipe['repair_bytes']:.2e} repair bytes vs "
+              f"{wipe['whole_file_bytes']:.2e} whole-file = "
+              f"{current['repair_savings']:.2f}x savings")
+        print(f"  chunk_corrupt leg: "
+              f"{current['chunk_corrupt']['faults_injected']} faults, "
+              f"converged={current['chunk_corrupt']['converged']}")
+        failures = check_chunks_regressions(report)
         for failure in failures:
             print(f"REGRESSION: {failure}")
         return 1 if failures else 0
